@@ -1,0 +1,139 @@
+package heb
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPredictionAblation(t *testing.T) {
+	p := DefaultPrototype()
+	w, _ := WorkloadNamed("PR")
+	rows, err := PredictionAblation(p, w, 8*time.Hour)
+	if err != nil {
+		t.Fatalf("PredictionAblation: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	naive, hw, oracle := rows[0], rows[1], rows[2]
+	// Prediction error ordering: oracle ≤ holt-winters ≤ naive-ish.
+	if oracle.PeakMAPE > hw.PeakMAPE {
+		t.Errorf("oracle MAPE %.3f above holt-winters %.3f", oracle.PeakMAPE, hw.PeakMAPE)
+	}
+	if oracle.PeakMAPE > 0.05 {
+		t.Errorf("oracle MAPE %.3f should be near zero", oracle.PeakMAPE)
+	}
+	// Outcomes: better prediction must not make things worse.
+	if oracle.EnergyEfficiency < naive.EnergyEfficiency-0.02 {
+		t.Errorf("oracle EE %.3f below naive %.3f", oracle.EnergyEfficiency, naive.EnergyEfficiency)
+	}
+	t.Logf("naive: MAPE %.3f EE %.3f | HW: MAPE %.3f EE %.3f | oracle: MAPE %.3f EE %.3f",
+		naive.PeakMAPE, naive.EnergyEfficiency, hw.PeakMAPE, hw.EnergyEfficiency,
+		oracle.PeakMAPE, oracle.EnergyEfficiency)
+	if _, err := PredictionAblation(p, w, 0); err == nil {
+		t.Error("accepted zero duration")
+	}
+}
+
+func TestSeasonalityAblation(t *testing.T) {
+	p := DefaultPrototype()
+	w, _ := WorkloadNamed("MS")
+	rows, err := SeasonalityAblation(p, w, 2)
+	if err != nil {
+		t.Fatalf("SeasonalityAblation: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.EnergyEfficiency <= 0 || r.EnergyEfficiency > 1 {
+			t.Errorf("%s: EE %g out of range", r.Predictor, r.EnergyEfficiency)
+		}
+		if r.PeakMAPE < 0 {
+			t.Errorf("%s: negative MAPE", r.Predictor)
+		}
+	}
+	if _, err := SeasonalityAblation(p, w, 1); err == nil {
+		t.Error("accepted a 1-day seasonality study")
+	}
+}
+
+func TestAgingAblation(t *testing.T) {
+	p := DefaultPrototype()
+	w, _ := WorkloadNamed("PR")
+	rows, err := AgingAblation(p, w, 0.8, 12*time.Hour)
+	if err != nil {
+		t.Fatalf("AgingAblation: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	hebS, hebD := rows[0], rows[1]
+	if hebS.Scheme != HEBS || hebD.Scheme != HEBD {
+		t.Fatalf("unexpected scheme order: %v, %v", hebS.Scheme, hebD.Scheme)
+	}
+	// Finding (documented in EXPERIMENTS.md): in this simulator the
+	// engine's capability-aware takeover compensates for a stale table,
+	// so HEB-D and HEB-S end up close on aged batteries. The assertion
+	// is therefore parity: the dynamic scheme must never be
+	// meaningfully worse than the static one on aged hardware.
+	if hebD.DowntimeServerSeconds > hebS.DowntimeServerSeconds*1.2+120 {
+		t.Errorf("HEB-D downtime %g far above stale HEB-S %g on aged batteries",
+			hebD.DowntimeServerSeconds, hebS.DowntimeServerSeconds)
+	}
+	if hebD.EnergyEfficiency < hebS.EnergyEfficiency-0.02 {
+		t.Errorf("HEB-D EE %.3f below HEB-S %.3f on aged batteries",
+			hebD.EnergyEfficiency, hebS.EnergyEfficiency)
+	}
+	// Aged batteries must shift service toward the SC pool for both
+	// schemes relative to fresh hardware.
+	freshRows, err := AgingAblation(p, w, 0, 12*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hebD.ServedFromBatteryWh >= freshRows[1].ServedFromBatteryWh {
+		t.Errorf("aged battery served %.0fWh >= fresh %.0fWh",
+			hebD.ServedFromBatteryWh, freshRows[1].ServedFromBatteryWh)
+	}
+	t.Logf("aged 80%%: HEB-S EE %.3f down %.0fs (SC %.0fWh BA %.0fWh) | HEB-D EE %.3f down %.0fs (SC %.0fWh BA %.0fWh)",
+		hebS.EnergyEfficiency, hebS.DowntimeServerSeconds, hebS.ServedFromSupercapWh, hebS.ServedFromBatteryWh,
+		hebD.EnergyEfficiency, hebD.DowntimeServerSeconds, hebD.ServedFromSupercapWh, hebD.ServedFromBatteryWh)
+	if _, err := AgingAblation(p, w, 2, time.Hour); err == nil {
+		t.Error("accepted pre-age 2")
+	}
+}
+
+func TestCompareWithDVFSCapping(t *testing.T) {
+	p := DefaultPrototype()
+	w, _ := WorkloadNamed("PR")
+	rows, err := CompareWithDVFSCapping(p, w, 8*time.Hour)
+	if err != nil {
+		t.Fatalf("CompareWithDVFSCapping: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	capping, hebd := rows[0], rows[1]
+	// The capping baseline pays in degraded server-time; HEB pays none.
+	if capping.DegradedServerSeconds <= 0 {
+		t.Error("capping baseline shows no performance degradation")
+	}
+	if hebd.DegradedServerSeconds != 0 {
+		t.Errorf("HEB-D degraded %g server-s; buffers should avoid capping",
+			hebd.DegradedServerSeconds)
+	}
+	// Even fully capped, the cluster's peak draw exceeds this budget
+	// (6 servers at the low DVFS point still peak above 280 W), so the
+	// no-storage baseline must also shed — and far more than HEB-D,
+	// which rides the same peaks out of its buffers.
+	if capping.DowntimeServerSeconds <= hebd.DowntimeServerSeconds {
+		t.Errorf("capping downtime %g not above HEB-D %g",
+			capping.DowntimeServerSeconds, hebd.DowntimeServerSeconds)
+	}
+	t.Logf("capping: degraded %.0fs downtime %.0fs | HEB-D: degraded %.0fs downtime %.0fs",
+		capping.DegradedServerSeconds, capping.DowntimeServerSeconds,
+		hebd.DegradedServerSeconds, hebd.DowntimeServerSeconds)
+	if _, err := CompareWithDVFSCapping(p, w, 0); err == nil {
+		t.Error("accepted zero duration")
+	}
+}

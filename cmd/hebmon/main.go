@@ -1,0 +1,91 @@
+// Command hebmon runs a HEB simulation while serving the prototype's
+// real-time monitoring API (Figure 11, item 5) over HTTP.
+//
+// The simulation is paced so that one simulated second takes
+// 1/speedup wall seconds; with the default speedup of 60 a 24-hour run
+// plays back in 24 minutes while /latest, /history and /summary serve
+// live state.
+//
+// Usage:
+//
+//	hebmon -addr :8080 -scheme HEB-D -workload PR -duration 24h -speedup 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"heb"
+	"heb/internal/sim"
+	"heb/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		scheme   = flag.String("scheme", "HEB-D", "power management scheme (BaOnly, BaFirst, SCFirst, HEB-F, HEB-S, HEB-D)")
+		wl       = flag.String("workload", "PR", "Table 1 workload abbreviation")
+		duration = flag.Duration("duration", 24*time.Hour, "simulated time")
+		speedup  = flag.Float64("speedup", 60, "simulated seconds per wall second (0 = unpaced)")
+		history  = flag.Int("history", 3600, "snapshots kept for /history")
+		exit     = flag.Bool("exit", false, "exit when the run completes instead of keeping the monitor up")
+	)
+	flag.Parse()
+
+	id, err := schemeByName(*scheme)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hebmon:", err)
+		os.Exit(1)
+	}
+	w, err := heb.WorkloadNamed(*wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hebmon:", err)
+		os.Exit(1)
+	}
+
+	rec := telemetry.MustNewRecorder(*history)
+	go func() {
+		log.Printf("monitor listening on %s (endpoints: /healthz /latest /history /summary)", *addr)
+		if err := telemetry.Serve(*addr, rec); err != nil {
+			log.Fatalf("monitor: %v", err)
+		}
+	}()
+
+	observer := rec.Observer()
+	if *speedup > 0 {
+		pace := time.Duration(float64(time.Second) / *speedup)
+		inner := observer
+		observer = func(s sim.StepInfo) {
+			inner(s)
+			time.Sleep(pace)
+		}
+	}
+
+	p := heb.DefaultPrototype()
+	log.Printf("running %s on %s for %v (speedup %gx)", *scheme, *wl, *duration, *speedup)
+	res, err := p.Run(id, w.WithDuration(*duration), heb.RunOptions{
+		Duration: *duration,
+		Observer: observer,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hebmon:", err)
+		os.Exit(1)
+	}
+	log.Printf("run complete: %s", res)
+	if !*exit {
+		log.Printf("monitor stays up for inspection; Ctrl-C to quit")
+		select {}
+	}
+}
+
+func schemeByName(name string) (heb.SchemeID, error) {
+	for _, id := range heb.AllSchemes() {
+		if id.String() == name {
+			return id, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scheme %q", name)
+}

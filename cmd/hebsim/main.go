@@ -1,0 +1,481 @@
+// Command hebsim regenerates the paper's tables and figures from the HEB
+// simulator. Each experiment prints a text table; see DESIGN.md for the
+// experiment index.
+//
+// Usage:
+//
+//	hebsim -exp all
+//	hebsim -exp fig12a -duration 6h
+//	hebsim -exp fig6 -load 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"heb"
+	"heb/internal/ascii"
+	"heb/internal/pat"
+	"heb/internal/sim"
+	"heb/internal/solar"
+	"heb/internal/trace"
+	"heb/internal/units"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table1, fig1, fig1b, fig3, fig4, fig5, fig6, fig12a, fig12b, fig12c, fig12d, fig13, fig14, fig15a, fig15b, fig15c, deploy, ablation, multiseed, capping, scale, curves, run, summary, all")
+		duration = flag.Duration("duration", 6*time.Hour, "simulated time per run")
+		seed     = flag.Int64("seed", 42, "workload generation seed")
+		load     = flag.Float64("load", 60, "per-server watts for fig6")
+		budget   = flag.Float64("budget", 0, "override utility budget in watts (0 = prototype default)")
+		scheme   = flag.String("scheme", "HEB-D", "scheme for -exp run")
+		wlName   = flag.String("workload", "PR", "Table 1 workload for -exp run")
+		wlCSV    = flag.String("workload-csv", "", "utilization trace CSV (overrides -workload; see tracegen)")
+		patIn    = flag.String("pat-in", "", "warm-start HEB-S/HEB-D from a saved PAT (JSON)")
+		patOut   = flag.String("pat-out", "", "persist the learned PAT after -exp run (JSON)")
+	)
+	flag.Parse()
+
+	p := heb.DefaultPrototype()
+	p.Seed = *seed
+	if *budget > 0 {
+		p.Budget = units.Power(*budget)
+	}
+
+	if *exp == "run" {
+		if err := runOnce(p, *duration, *scheme, *wlName, *wlCSV, *patIn, *patOut); err != nil {
+			fmt.Fprintln(os.Stderr, "hebsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*exp, p, *duration, units.Power(*load)); err != nil {
+		fmt.Fprintln(os.Stderr, "hebsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, p heb.Prototype, duration time.Duration, load units.Power) error {
+	switch exp {
+	case "table1":
+		return table1()
+	case "fig1":
+		return fig1(p)
+	case "fig1b":
+		return fig1b(p)
+	case "fig3":
+		return fig3(p)
+	case "fig4":
+		return fig4()
+	case "fig5":
+		return fig5(p)
+	case "fig6":
+		return fig6(p, load)
+	case "fig12a":
+		return fig12(p, duration, p.Budget, "EE", func(r sim.Result) float64 { return r.EnergyEfficiency })
+	case "fig12b":
+		return fig12(p, duration, lowBudget(p), "downtime(s)", func(r sim.Result) float64 { return r.DowntimeServerSeconds })
+	case "fig12c":
+		return fig12(p, duration, p.Budget, "battLife(y)", func(r sim.Result) float64 { return r.BatteryLifetimeYears })
+	case "fig12d":
+		return fig12d(p, duration)
+	case "fig13":
+		return fig13(p, duration)
+	case "fig14":
+		return fig14(p, duration)
+	case "fig15a":
+		return fig15a()
+	case "fig15b":
+		return fig15b()
+	case "fig15c":
+		return fig15c(p, duration)
+	case "deploy":
+		return deploy(p, duration)
+	case "ablation":
+		return ablation(p, duration)
+	case "multiseed":
+		return multiseed(p, duration)
+	case "capping":
+		return capping(p, duration)
+	case "scale":
+		return scale(p, duration)
+	case "curves":
+		return curves(p, duration)
+	case "summary":
+		return summary(p, duration)
+	case "all":
+		for _, e := range []string{
+			"table1", "fig1", "fig1b", "fig3", "fig4", "fig5", "fig6",
+			"fig12a", "fig12b", "fig12c", "fig12d",
+			"fig13", "fig14", "fig15a", "fig15b", "fig15c",
+			"deploy", "ablation", "multiseed", "capping", "scale", "summary",
+		} {
+			fmt.Printf("\n===== %s =====\n", e)
+			if err := run(e, p, duration, load); err != nil {
+				return fmt.Errorf("%s: %w", e, err)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+// lowBudget is the deliberately lowered budget the paper uses to trigger
+// downtime in the Figure 12(b) comparison.
+func lowBudget(p heb.Prototype) units.Power {
+	return p.Budget * 85 / 100
+}
+
+func table1() error {
+	return heb.WriteTable1(os.Stdout)
+}
+
+func fig1(p heb.Prototype) error {
+	r, err := heb.Figure1(p.Seed)
+	if err != nil {
+		return err
+	}
+	return heb.WriteFigure1(os.Stdout, r)
+}
+
+// fig1b illustrates the renewable mismatch of Figure 1(b): a stable load
+// against one simulated solar day, showing peak (deficit) and valley
+// (surplus) energy that the buffers must bridge and absorb.
+func fig1b(p heb.Prototype) error {
+	cfg := solarDefault(p)
+	series, err := cfg.Generate(24*time.Hour, time.Minute)
+	if err != nil {
+		return err
+	}
+	demand := 6.0 * 42 // stable load: six servers at ~30% utilization
+	var surplusWh, deficitWh float64
+	surplusMin, deficitMin := 0, 0
+	for _, v := range series.Values {
+		if v >= demand {
+			surplusWh += (v - demand) / 60
+			surplusMin++
+		} else {
+			deficitWh += (demand - v) / 60
+			deficitMin++
+		}
+	}
+	fmt.Println(ascii.Chart("solar W", series.Values, 100))
+	fmt.Printf("stable demand %.0f W over 24h\n", demand)
+	fmt.Printf("valley power (supply > demand): %5.1f Wh over %4.1f h -> charge buffers\n",
+		surplusWh, float64(surplusMin)/60)
+	fmt.Printf("peak power   (demand > supply): %5.1f Wh over %4.1f h -> discharge buffers\n",
+		deficitWh, float64(deficitMin)/60)
+	return nil
+}
+
+func fig3(p heb.Prototype) error {
+	rows, err := heb.Figure3(p)
+	if err != nil {
+		return err
+	}
+	return heb.WriteFigure3(os.Stdout, rows)
+}
+
+func fig4() error {
+	return heb.WriteFigure4(os.Stdout, heb.Figure4())
+}
+
+func fig5(p heb.Prototype) error {
+	rows, err := heb.Figure5(p)
+	if err != nil {
+		return err
+	}
+	return heb.WriteFigure5(os.Stdout, rows)
+}
+
+func fig6(p heb.Prototype, load units.Power) error {
+	r, err := heb.Figure6(p, load)
+	if err != nil {
+		return err
+	}
+	return heb.WriteFigure6(os.Stdout, r)
+}
+
+func fig12(p heb.Prototype, duration time.Duration, budget units.Power, metric string, f func(sim.Result) float64) error {
+	results, err := heb.Figure12(p, heb.Figure12Options{Duration: duration, Budget: budget})
+	if err != nil {
+		return err
+	}
+	return heb.WriteSchemeComparison(os.Stdout, results, metric, f)
+}
+
+func fig12d(p heb.Prototype, duration time.Duration) error {
+	results, err := heb.Figure12d(p, solarDefault(p), duration, nil)
+	if err != nil {
+		return err
+	}
+	return heb.WriteSchemeComparison(os.Stdout, results, "REU",
+		func(r sim.Result) float64 { return r.REU })
+}
+
+func solarDefault(p heb.Prototype) solar.Config {
+	cfg := solar.DefaultConfig()
+	cfg.Seed = p.Seed
+	return cfg
+}
+
+func fig13(p heb.Prototype, duration time.Duration) error {
+	pts, err := heb.Figure13(p, nil, duration)
+	if err != nil {
+		return err
+	}
+	return heb.WriteFigure13(os.Stdout, pts)
+}
+
+func fig14(p heb.Prototype, duration time.Duration) error {
+	pts, err := heb.Figure14(p, nil, duration)
+	if err != nil {
+		return err
+	}
+	return heb.WriteFigure14(os.Stdout, pts)
+}
+
+func fig15a() error {
+	items, total := heb.Figure15a()
+	for _, it := range items {
+		fmt.Printf("%-45s $%.0f (%.0f%%)\n", it.Name, it.CostUSD, it.CostUSD/total*100)
+	}
+	fmt.Printf("%-45s $%.0f\n", "TOTAL (per HEB node, powers 6 servers)", total)
+	return nil
+}
+
+func fig15b() error {
+	pts := heb.Figure15b()
+	fmt.Println("C_cap($/W)  peak(h)  ROI")
+	for _, pt := range pts {
+		fmt.Printf("%8.0f  %7.2f  %+.2f\n", pt.CapPerWatt, pt.PeakHours, pt.ROI)
+	}
+	return nil
+}
+
+func fig15c(p heb.Prototype, duration time.Duration) error {
+	results, err := heb.Figure12(p, heb.Figure12Options{
+		Duration: duration,
+		Schemes:  []heb.SchemeID{heb.BaOnly, heb.BaFirst, heb.SCFirst, heb.HEBD},
+	})
+	if err != nil {
+		return err
+	}
+	rows, err := heb.Figure15c(results, 8)
+	if err != nil {
+		return err
+	}
+	return heb.WriteFigure15c(os.Stdout, rows)
+}
+
+func deploy(p heb.Prototype, duration time.Duration) error {
+	spec, err := heb.SpecNamed("PR")
+	if err != nil {
+		return err
+	}
+	results, err := heb.CompareDeployments(p, spec, 2, duration)
+	if err != nil {
+		return err
+	}
+	return heb.WriteDeployments(os.Stdout, results)
+}
+
+func ablation(p heb.Prototype, duration time.Duration) error {
+	w, err := heb.WorkloadNamed("PR")
+	if err != nil {
+		return err
+	}
+	rows, err := heb.PredictionAblation(p, w, duration)
+	if err != nil {
+		return err
+	}
+	fmt.Println("prediction ablation (HEB-D on PR):")
+	fmt.Printf("%-28s %10s %8s %13s\n", "predictor", "peak MAPE", "EE", "downtime(s)")
+	for _, r := range rows {
+		fmt.Printf("%-28s %10.3f %8.3f %13.0f\n",
+			r.Predictor, r.PeakMAPE, r.EnergyEfficiency, r.DowntimeServerSeconds)
+	}
+	return nil
+}
+
+func multiseed(p heb.Prototype, duration time.Duration) error {
+	results, err := heb.MultiSeedComparison(p, heb.MultiSeedOptions{
+		Seeds:    5,
+		Duration: duration,
+		Workload: "PR",
+	})
+	if err != nil {
+		return err
+	}
+	return heb.WriteMultiSeed(os.Stdout, results)
+}
+
+// runOnce executes a single scheme on a single workload — optionally a
+// recorded CSV trace — and prints the result with demand/SoC curves.
+func runOnce(p heb.Prototype, duration time.Duration, scheme, wlName, wlCSV, patIn, patOut string) error {
+	var id heb.SchemeID
+	found := false
+	for _, s := range heb.AllSchemes() {
+		if s.String() == scheme {
+			id, found = s, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown scheme %q", scheme)
+	}
+	var w heb.Workload
+	if wlCSV != "" {
+		f, err := os.Open(wlCSV)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err := trace.ReadCSV(f, wlCSV, 10*time.Second)
+		if err != nil {
+			return err
+		}
+		if err := tr.Validate(); err != nil {
+			return err
+		}
+		w = heb.WorkloadFromTrace(tr)
+	} else {
+		var err error
+		w, err = heb.WorkloadNamed(wlName)
+		if err != nil {
+			return err
+		}
+		w = w.WithDuration(duration)
+	}
+	var demand, baSoC, scSoC []float64
+	opts := heb.RunOptions{
+		Duration: duration,
+		Observer: func(s sim.StepInfo) {
+			demand = append(demand, float64(s.Demand))
+			baSoC = append(baSoC, s.BatterySoC)
+			scSoC = append(scSoC, s.SupercapSoC)
+		},
+	}
+	if patIn != "" {
+		f, err := os.Open(patIn)
+		if err != nil {
+			return err
+		}
+		table, err := pat.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		opts.Table = table
+		fmt.Printf("warm-started PAT from %s (%d entries)\n", patIn, table.Len())
+	}
+	var learned *pat.Table
+	if patOut != "" {
+		opts.TableSink = func(t *pat.Table) { learned = t }
+	}
+	res, err := p.Run(id, w, opts)
+	if err != nil {
+		return err
+	}
+	if patOut != "" {
+		if learned == nil {
+			return fmt.Errorf("scheme %s has no PAT to persist", scheme)
+		}
+		f, err := os.Create(patOut)
+		if err != nil {
+			return err
+		}
+		if err := learned.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("saved learned PAT to %s (%d entries)\n", patOut, learned.Len())
+	}
+	fmt.Println(ascii.Chart("demand W", demand, 100))
+	fmt.Println(ascii.Chart("batt SoC", baSoC, 100))
+	fmt.Println(ascii.Chart("SC SoC", scSoC, 100))
+	fmt.Println(res)
+	return nil
+}
+
+func capping(p heb.Prototype, duration time.Duration) error {
+	w, err := heb.WorkloadNamed("PR")
+	if err != nil {
+		return err
+	}
+	rows, err := heb.CompareWithDVFSCapping(p, w, duration)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-28s %8s %13s %13s %12s\n",
+		"approach", "EE", "downtime(s)", "degraded(s)", "utilPeak(W)")
+	for _, r := range rows {
+		fmt.Printf("%-28s %8.3f %13.0f %13.0f %12.0f\n",
+			r.Approach, r.EnergyEfficiency, r.DowntimeServerSeconds,
+			r.DegradedServerSeconds, r.UtilityPeakW)
+	}
+	return nil
+}
+
+func scale(p heb.Prototype, duration time.Duration) error {
+	pts, err := heb.ScaleOutStudy(p, nil, duration)
+	if err != nil {
+		return err
+	}
+	return heb.WriteScaleOut(os.Stdout, pts)
+}
+
+func curves(p heb.Prototype, duration time.Duration) error {
+	w, err := heb.WorkloadNamed("PR")
+	if err != nil {
+		return err
+	}
+	var demand, baSoC, scSoC []float64
+	res, err := p.Run(heb.HEBD, w.WithDuration(duration), heb.RunOptions{
+		Duration: duration,
+		Observer: func(s sim.StepInfo) {
+			demand = append(demand, float64(s.Demand))
+			baSoC = append(baSoC, s.BatterySoC)
+			scSoC = append(scSoC, s.SupercapSoC)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(ascii.Chart("demand W", demand, 100))
+	fmt.Println(ascii.Chart("batt SoC", baSoC, 100))
+	fmt.Println(ascii.Chart("SC SoC", scSoC, 100))
+	fmt.Printf("run: %s\n", res)
+	return nil
+}
+
+func summary(p heb.Prototype, duration time.Duration) error {
+	results, err := heb.Figure12(p, heb.Figure12Options{Duration: duration, Budget: lowBudget(p)})
+	if err != nil {
+		return err
+	}
+	// Fold REU from the solar runs into the same result set.
+	reu, err := heb.Figure12d(p, solarDefault(p), duration, nil)
+	if err != nil {
+		return err
+	}
+	for i := range results {
+		for j := range reu {
+			if reu[j].Scheme == results[i].Scheme {
+				meanREU := reu[j].Mean(func(r sim.Result) float64 { return r.REU })
+				for k, v := range results[i].Results {
+					v.REU = meanREU
+					results[i].Results[k] = v
+				}
+			}
+		}
+	}
+	return heb.WriteImprovementSummary(os.Stdout, results)
+}

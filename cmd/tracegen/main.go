@@ -1,0 +1,89 @@
+// Command tracegen emits the simulator's synthetic traces as CSV for
+// inspection or replay: per-server utilization for any Table 1 workload,
+// the Google-cluster-like aggregate trace, or a solar generation day.
+//
+// Usage:
+//
+//	tracegen -kind workload -workload PR -servers 6 -duration 2h > pr.csv
+//	tracegen -kind cluster -duration 168h > cluster.csv
+//	tracegen -kind solar -duration 24h > solar.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"heb/internal/solar"
+	"heb/internal/trace"
+	"heb/internal/workload"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "workload", "trace kind: workload, cluster, solar")
+		wl       = flag.String("workload", "PR", "Table 1 abbreviation (workload kind)")
+		servers  = flag.Int("servers", 6, "server count (workload kind)")
+		duration = flag.Duration("duration", 2*time.Hour, "trace length")
+		step     = flag.Duration("step", 10*time.Second, "sample spacing")
+		seed     = flag.Int64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+
+	if err := run(*kind, *wl, *servers, *duration, *step, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind, wl string, servers int, duration, step time.Duration, seed int64) error {
+	switch kind {
+	case "workload":
+		spec, err := workload.ByAbbrev(wl)
+		if err != nil {
+			return err
+		}
+		tr, err := spec.Generate(seed, servers, duration, step)
+		if err != nil {
+			return err
+		}
+		return tr.WriteCSV(os.Stdout)
+	case "cluster":
+		s, err := workload.ClusterTrace(seed, duration, step)
+		if err != nil {
+			return err
+		}
+		return writeSeries(s)
+	case "solar":
+		cfg := solar.DefaultConfig()
+		cfg.Seed = seed
+		s, err := cfg.Generate(duration, step)
+		if err != nil {
+			return err
+		}
+		return writeSeries(s)
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+}
+
+func writeSeries(s *trace.Series) error {
+	cw := csv.NewWriter(os.Stdout)
+	if err := cw.Write([]string{"t_seconds", s.Name}); err != nil {
+		return err
+	}
+	for i, v := range s.Values {
+		rec := []string{
+			strconv.FormatFloat(float64(i)*s.Step.Seconds(), 'g', -1, 64),
+			strconv.FormatFloat(v, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

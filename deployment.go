@@ -1,0 +1,133 @@
+package heb
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"heb/internal/power"
+	"heb/internal/trace"
+	"heb/internal/units"
+	"heb/internal/workload"
+)
+
+// This file implements the paper's Section 4.2 deployment-architecture
+// comparison (Figure 8): the cluster-level deployment shares one buffer
+// group across all racks but pays a DC/AC conversion on the storage path;
+// the rack-level deployment delivers DC directly but cannot share energy
+// between racks; the conventional centralized UPS double-converts
+// everything. Per-rack load imbalance is what makes sharing valuable —
+// each rack gets an independently-seeded burst pattern, so one rack's
+// peaks land while another's buffers idle.
+
+// DeploymentResult aggregates one architecture's run.
+type DeploymentResult struct {
+	// Topology is the architecture evaluated.
+	Topology power.Topology
+	// Racks is how many independent buffer groups served the cluster
+	// (1 for the shared deployments).
+	Racks int
+	// EnergyEfficiency, DowntimeServerSeconds and ConversionLoss are
+	// summed/combined over the racks.
+	EnergyEfficiency      float64
+	DowntimeServerSeconds float64
+	ConversionLoss        units.Energy
+	ServedFromBuffers     units.Energy
+	UnservedEnergy        units.Energy
+}
+
+// CompareDeployments runs the same imbalanced multi-rack workload under
+// the three architectures with equal total servers, budget and storage,
+// using the HEB-D scheme. racks must divide the prototype's server count.
+func CompareDeployments(p Prototype, spec workload.Spec, racks int, duration time.Duration) ([]DeploymentResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if racks <= 0 || p.NumServers%racks != 0 {
+		return nil, fmt.Errorf("heb: racks %d must divide %d servers", racks, p.NumServers)
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("heb: duration %v must be positive", duration)
+	}
+	perRack := p.NumServers / racks
+
+	// Independently-seeded per-rack traces: same statistics, uncorrelated
+	// burst phases.
+	rackTraces := make([]*trace.Trace, racks)
+	for i := range rackTraces {
+		tr, err := spec.Generate(p.Seed+int64(i)*977, perRack, duration, 10*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		rackTraces[i] = tr
+	}
+	merged, err := trace.Merge(spec.Abbrev+"-cluster", rackTraces...)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []DeploymentResult
+
+	// Shared-buffer deployments: one engine over all servers.
+	for _, topo := range []power.Topology{power.TopologyClusterLevel, power.TopologyCentralizedUPS} {
+		pp := p
+		pp.Topology = topo
+		res, err := pp.Run(HEBD, WorkloadFromTrace(merged), RunOptions{Duration: duration})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DeploymentResult{
+			Topology:              topo,
+			Racks:                 1,
+			EnergyEfficiency:      res.EnergyEfficiency,
+			DowntimeServerSeconds: res.DowntimeServerSeconds,
+			ConversionLoss:        res.ConversionLoss,
+			ServedFromBuffers:     res.ServedTotal(),
+			UnservedEnergy:        res.UnservedEnergy,
+		})
+	}
+
+	// Rack-level: independent engines, each with its share of budget and
+	// storage; energy cannot move between racks.
+	rackRes := DeploymentResult{Topology: power.TopologyRackLevel, Racks: racks}
+	var eeSum float64
+	for i := 0; i < racks; i++ {
+		pp := p
+		pp.Topology = power.TopologyRackLevel
+		pp.NumServers = perRack
+		pp.Budget = units.Power(float64(p.Budget) / float64(racks))
+		pp.StorageWh = p.StorageWh / float64(racks)
+		res, err := pp.Run(HEBD, WorkloadFromTrace(rackTraces[i]), RunOptions{Duration: duration})
+		if err != nil {
+			return nil, err
+		}
+		eeSum += res.EnergyEfficiency
+		rackRes.DowntimeServerSeconds += res.DowntimeServerSeconds
+		rackRes.ConversionLoss += res.ConversionLoss
+		rackRes.ServedFromBuffers += res.ServedTotal()
+		rackRes.UnservedEnergy += res.UnservedEnergy
+	}
+	rackRes.EnergyEfficiency = eeSum / float64(racks)
+	out = append(out, rackRes)
+	return out, nil
+}
+
+// WriteDeployments renders the comparison.
+func WriteDeployments(w io.Writer, results []DeploymentResult) error {
+	if len(results) == 0 {
+		return fmt.Errorf("heb: nothing to report")
+	}
+	_, err := fmt.Fprintf(w, "%-16s %6s %8s %13s %14s %12s\n",
+		"topology", "groups", "EE", "downtime(s)", "convLoss(Wh)", "served(Wh)")
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		if _, err := fmt.Fprintf(w, "%-16s %6d %8.3f %13.0f %14.1f %12.1f\n",
+			r.Topology, r.Racks, r.EnergyEfficiency, r.DowntimeServerSeconds,
+			r.ConversionLoss.Wh(), r.ServedFromBuffers.Wh()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package heb_test
+
+import (
+	"fmt"
+	"time"
+
+	"heb"
+)
+
+// The quickest possible use of the library: run the dynamic HEB scheme on
+// a Table 1 workload and look at the result.
+func ExamplePrototype_Run() {
+	proto := heb.DefaultPrototype()
+	w, err := heb.WorkloadNamed("PR")
+	if err != nil {
+		panic(err)
+	}
+	res, err := proto.Run(heb.HEBD, w.WithDuration(time.Hour),
+		heb.RunOptions{Duration: time.Hour})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Scheme, res.Steps, "steps,", res.SlotCount, "control slots")
+	// Output: HEB-D 3600 steps, 6 control slots
+}
+
+// The six power-management schemes of the paper's Table 2.
+func ExampleAllSchemes() {
+	for _, id := range heb.AllSchemes() {
+		fmt.Printf("%s hybrid=%v\n", id, id.Hybrid())
+	}
+	// Output:
+	// BaOnly hybrid=false
+	// BaFirst hybrid=true
+	// SCFirst hybrid=true
+	// HEB-F hybrid=true
+	// HEB-S hybrid=true
+	// HEB-D hybrid=true
+}
+
+// The eight evaluation workloads of the paper's Table 1.
+func ExampleEvaluationWorkloads() {
+	for _, w := range heb.EvaluationWorkloads() {
+		class, _ := w.Class()
+		fmt.Println(w.Name(), class)
+	}
+	// Output:
+	// PR large-peaks
+	// WC large-peaks
+	// DA large-peaks
+	// WS large-peaks
+	// MS small-peaks
+	// DFS small-peaks
+	// HB small-peaks
+	// TS small-peaks
+}
+
+// Equal-total-capacity pools: BaOnly gets everything as batteries, hybrid
+// schemes split by the prototype's SC ratio.
+func ExamplePrototype_BuildPools() {
+	proto := heb.DefaultPrototype()
+	ba, sc, err := proto.BuildPools(heb.HEBD)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("battery %.0f Wh, supercap %.0f Wh\n",
+		ba.Capacity().Wh(), sc.Capacity().Wh())
+	// Output: battery 84 Wh, supercap 36 Wh
+}
+
+// The Figure 4 storage-technology cost table.
+func ExampleFigure4() {
+	for _, row := range heb.Figure4() {
+		if row.Technology.Name == "Super-capacitor" {
+			fmt.Printf("%s: %.2f $/kWh/cycle amortized\n",
+				row.Technology.Name, row.Amortized)
+		}
+	}
+	// Output: Super-capacitor: 0.40 $/kWh/cycle amortized
+}

@@ -1,0 +1,66 @@
+// Under-provisioned datacenter scenario (paper Sections 2.1 and 7.2):
+// the utility budget is deliberately set below the cluster's peak demand,
+// and the energy buffers must shave every burst. The example first shows
+// the provisioning trade-off on a Google-cluster-like trace (Figure 1(a)),
+// then compares all six Table 2 schemes under a harsh budget.
+//
+//	go run ./examples/underprovisioned
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"heb"
+	"heb/internal/sim"
+)
+
+func main() {
+	// Part 1: why under-provision at all? MPPU vs capital cost.
+	fig1, err := heb.Figure1(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Provisioning a 100 kW-nameplate cluster (Figure 1(a)):")
+	if err := heb.WriteFigure1(os.Stdout, fig1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	// Part 2: the cost of under-provisioning is power mismatches; the
+	// schemes differ in how gracefully they absorb them. Lower the
+	// prototype budget by 15% to force downtime, as the paper does.
+	proto := heb.DefaultPrototype()
+	budget := proto.Budget * 85 / 100
+	fmt.Printf("Six schemes under a %v budget (nameplate peak %v), 8h of PageRank:\n\n",
+		budget, proto.Server.PeakPower*6)
+
+	wl, err := heb.WorkloadNamed("PR")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const duration = 8 * time.Hour
+	fmt.Printf("%-8s %8s %12s %12s %10s\n", "scheme", "EE", "downtime(s)", "unserved", "battLife")
+	var base sim.Result
+	for _, scheme := range heb.AllSchemes() {
+		res, err := proto.Run(scheme, wl.WithDuration(duration), heb.RunOptions{
+			Duration: duration,
+			Budget:   budget,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if scheme == heb.BaOnly {
+			base = res
+		}
+		fmt.Printf("%-8s %8.3f %12.0f %12s %9.2fy\n",
+			scheme, res.EnergyEfficiency, res.DowntimeServerSeconds,
+			res.UnservedEnergy, res.BatteryLifetimeYears)
+	}
+	_ = base
+	fmt.Println("\nThe hybrid schemes ride out bursts the batteries alone cannot")
+	fmt.Println("carry; HEB-D additionally balances the split so neither pool is")
+	fmt.Println("over-stressed (paper Figure 12(b)).")
+}

@@ -1,0 +1,228 @@
+package heb
+
+// Fault-injection tests: the paper positions HEB as improving datacenter
+// resiliency; these tests exercise the system's behaviour under degraded
+// hardware — noisy sensors, stuck relays, dead battery strings — and
+// check that degradation is graceful, not catastrophic.
+
+import (
+	"testing"
+	"time"
+
+	"heb/internal/core"
+	"heb/internal/esd"
+	"heb/internal/forecast"
+	"heb/internal/power"
+	"heb/internal/sim"
+)
+
+// newTestController wires a controller the way Prototype.Run does, for
+// tests that need to assemble the rig manually.
+func newTestController(p Prototype, scheme core.Scheme, peak, valley forecast.Predictor) (*core.Controller, error) {
+	return core.NewController(core.Config{
+		SmallPeakWatts:  p.SmallPeakWatts,
+		Budget:          p.Budget,
+		NumServers:      p.NumServers,
+		PeakPredictor:   peak,
+		ValleyPredictor: valley,
+	}, scheme)
+}
+
+func TestSensorNoiseDegradesGracefully(t *testing.T) {
+	w, _ := WorkloadNamed("PR")
+	const d = 8 * time.Hour
+	run := func(noise float64) sim.Result {
+		p := DefaultPrototype()
+		p.SensorNoise = noise
+		res, err := p.Run(HEBD, w.WithDuration(d), RunOptions{Duration: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	clean := run(0)
+	noisy := run(0.15)
+	// 15% sensor error must not cripple the controller: efficiency
+	// within a few points and downtime within 2x of the clean run.
+	if noisy.EnergyEfficiency < clean.EnergyEfficiency-0.08 {
+		t.Errorf("EE collapsed under sensor noise: %.3f vs clean %.3f",
+			noisy.EnergyEfficiency, clean.EnergyEfficiency)
+	}
+	if clean.DowntimeServerSeconds > 0 &&
+		noisy.DowntimeServerSeconds > 2*clean.DowntimeServerSeconds+600 {
+		t.Errorf("downtime exploded under sensor noise: %g vs clean %g",
+			noisy.DowntimeServerSeconds, clean.DowntimeServerSeconds)
+	}
+}
+
+func TestSensorNoiseValidation(t *testing.T) {
+	p := DefaultPrototype()
+	p.SensorNoise = 1.0
+	if err := p.Validate(); err == nil {
+		t.Error("accepted sensor noise of 100%")
+	}
+	p.SensorNoise = -0.1
+	if err := p.Validate(); err == nil {
+		t.Error("accepted negative sensor noise")
+	}
+}
+
+func TestStuckRelayIsRejectedAndContained(t *testing.T) {
+	servers := make([]*power.Server, 3)
+	for i := range servers {
+		servers[i] = power.MustNewServer(i, power.DefaultServerConfig())
+	}
+	f := power.MustNewFabric(servers)
+	if err := f.FailRelay(1); err != nil {
+		t.Fatalf("FailRelay: %v", err)
+	}
+	if err := f.FailRelay(99); err == nil {
+		t.Error("failed an unknown relay")
+	}
+	if !f.RelayStuck(1) || f.RelayStuck(0) {
+		t.Error("stuck state wrong")
+	}
+	// The stuck relay holds its position...
+	if err := f.Assign(1, power.SourceBattery); err == nil {
+		t.Error("stuck relay switched")
+	}
+	if src := f.SourceOf(1); src != power.SourceUtility {
+		t.Errorf("stuck relay moved to %v", src)
+	}
+	// ...same-position assigns are a no-op success...
+	if err := f.Assign(1, power.SourceUtility); err != nil {
+		t.Errorf("same-position assign on stuck relay failed: %v", err)
+	}
+	// ...and healthy relays still switch.
+	if err := f.Assign(0, power.SourceSupercap); err != nil {
+		t.Errorf("healthy relay blocked: %v", err)
+	}
+	// Repair restores switching.
+	f.RepairRelay(1)
+	if err := f.Assign(1, power.SourceBattery); err != nil {
+		t.Errorf("repaired relay still stuck: %v", err)
+	}
+}
+
+func TestDeadBatteryStringPoolSurvives(t *testing.T) {
+	b1 := esd.MustNewBattery(esd.DefaultBatteryConfig())
+	b2 := esd.MustNewBattery(esd.DefaultBatteryConfig())
+	pool := esd.MustNewPool("batteries", b1, b2)
+
+	before := pool.Discharge(100, time.Second)
+	if before < 99 {
+		t.Fatalf("healthy pool delivered %v", before)
+	}
+	b1.Fail()
+	if !b1.Failed() || !b1.Depleted() {
+		t.Error("failed battery not reporting dead")
+	}
+	if b1.Stored() != 0 || b1.MaxDischargePower() != 0 || b1.MaxChargePower() != 0 {
+		t.Error("failed battery still offers energy")
+	}
+	if got := b1.Discharge(50, time.Second); got != 0 {
+		t.Errorf("failed battery delivered %v", got)
+	}
+	if got := b1.Charge(50, time.Second); got != 0 {
+		t.Errorf("failed battery accepted %v", got)
+	}
+	// The pool carries on with the survivor at half strength.
+	after := pool.Discharge(100, time.Second)
+	if after < 99 {
+		t.Errorf("pool with one dead string delivered %v of 100W", after)
+	}
+	if out := b2.Stats().EnergyOut; out <= 0 {
+		t.Error("survivor did not pick up the load")
+	}
+	// Capacity reporting reflects the loss.
+	if pool.Stored() > b2.Stored() {
+		t.Error("pool stored energy still counts the dead string")
+	}
+	b1.Repair()
+	if b1.Depleted() {
+		t.Error("repaired battery still dead")
+	}
+}
+
+func TestDeadSupercapBank(t *testing.T) {
+	s := esd.MustNewSupercap(esd.DefaultSupercapConfig())
+	s.Fail()
+	if !s.Failed() || !s.Depleted() || s.Stored() != 0 {
+		t.Error("failed SC not reporting dead")
+	}
+	if got := s.Discharge(100, time.Second); got != 0 {
+		t.Errorf("failed SC delivered %v", got)
+	}
+	if got := s.Charge(100, time.Second); got != 0 {
+		t.Errorf("failed SC accepted %v", got)
+	}
+	s.Repair()
+	if s.Depleted() {
+		t.Error("repaired SC still dead")
+	}
+	s.Fail()
+	s.Reset()
+	if s.Failed() {
+		t.Error("Reset did not clear the fault")
+	}
+}
+
+func TestEndToEndWithDeadSCBank(t *testing.T) {
+	// Kill one of HEB-D's two SC banks mid-configuration: the system
+	// must keep serving peaks from the surviving bank plus batteries,
+	// with bounded extra downtime.
+	p := DefaultPrototype()
+	w, _ := WorkloadNamed("PR")
+	const d = 8 * time.Hour
+
+	healthy, err := p.Run(HEBD, w.WithDuration(d), RunOptions{Duration: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build the rig manually so we can fail a bank before the run.
+	battery, supercap, err := p.BuildPools(HEBD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	battery.SetSoC(p.InitialSoC)
+	supercap.SetSoC(p.InitialSoC)
+	supercap.Members()[0].(*esd.Supercap).Fail()
+
+	scheme, peakPred, valleyPred, err := p.BuildScheme(HEBD, supercap.Capacity(), battery.Capacity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := newTestController(p, scheme, peakPred, valleyPred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := w.WithDuration(d).Trace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sim.New(sim.Config{
+		Step: p.Step, Slot: p.Slot, Duration: d,
+		Servers: p.Servers(), Workload: tr,
+		Battery: battery, Supercap: supercap,
+		Feed:       power.MustNewUtilityFeed(p.Budget),
+		Controller: ctrl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded := eng.Run()
+
+	// The run must complete and still serve energy from storage.
+	if degraded.ServedTotal() <= 0 {
+		t.Fatal("degraded system served nothing")
+	}
+	// Bounded degradation: still far better than no storage at all, and
+	// the battery naturally carries more.
+	if degraded.ServedFromBattery <= healthy.ServedFromBattery {
+		t.Error("battery did not compensate for the dead SC bank")
+	}
+	if degraded.EnergyEfficiency < 0.5 {
+		t.Errorf("degraded EE %.3f collapsed", degraded.EnergyEfficiency)
+	}
+}

@@ -1,0 +1,3 @@
+module heb
+
+go 1.22

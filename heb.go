@@ -1,0 +1,449 @@
+// Package heb is the public API of the HEB reproduction: it assembles the
+// paper's prototype (six low-power servers, a hybrid super-capacitor +
+// lead-acid buffer, a budgeted utility feed or a rooftop solar array, and
+// the hControl power-management framework) and exposes one runner per
+// table and figure of the evaluation (see experiments.go).
+//
+// Reference: Liu et al., "HEB: Deploying and Managing Hybrid Energy
+// Buffers for Improving Datacenter Efficiency and Economy", ISCA 2015.
+package heb
+
+import (
+	"fmt"
+	"time"
+
+	"heb/internal/core"
+	"heb/internal/esd"
+	"heb/internal/forecast"
+	"heb/internal/pat"
+	"heb/internal/power"
+	"heb/internal/sim"
+	"heb/internal/units"
+)
+
+// SchemeID identifies one of the six evaluated power management schemes
+// (paper Table 2).
+type SchemeID int
+
+// The Table 2 schemes.
+const (
+	BaOnly SchemeID = iota
+	BaFirst
+	SCFirst
+	HEBF
+	HEBS
+	HEBD
+)
+
+// AllSchemes lists the Table 2 schemes in paper order.
+func AllSchemes() []SchemeID {
+	return []SchemeID{BaOnly, BaFirst, SCFirst, HEBF, HEBS, HEBD}
+}
+
+// String names the scheme as the paper does.
+func (s SchemeID) String() string {
+	switch s {
+	case BaOnly:
+		return "BaOnly"
+	case BaFirst:
+		return "BaFirst"
+	case SCFirst:
+		return "SCFirst"
+	case HEBF:
+		return "HEB-F"
+	case HEBS:
+		return "HEB-S"
+	case HEBD:
+		return "HEB-D"
+	default:
+		return fmt.Sprintf("SchemeID(%d)", int(s))
+	}
+}
+
+// Hybrid reports whether the scheme deploys a super-capacitor pool.
+func (s SchemeID) Hybrid() bool { return s != BaOnly }
+
+// Prototype describes the scale-down research platform of Section 6.
+type Prototype struct {
+	// NumServers is the cluster size (paper: 6).
+	NumServers int
+	// Server is the per-node power model.
+	Server power.ServerConfig
+	// Budget is the provisioned utility power (paper: 260 W for six
+	// servers).
+	Budget units.Power
+	// StorageWh is the total usable buffer capacity in watt-hours; all
+	// schemes get the same total so they share worst-case emergency
+	// capability (Section 7's equal-capacity comparison).
+	StorageWh float64
+	// SCRatio is the super-capacitor share of StorageWh for hybrid
+	// schemes (paper initial ratio 3:7 → 0.3).
+	SCRatio float64
+	// BatteryStrings and SCBanks split each pool into parallel members.
+	BatteryStrings, SCBanks int
+	// Battery and Supercap are the module base configs; capacities are
+	// rescaled to meet StorageWh.
+	Battery  esd.BatteryConfig
+	Supercap esd.SupercapConfig
+	// Step and Slot are the engine tick and the control interval.
+	Step, Slot time.Duration
+	// Topology is the deployment architecture (Section 4.2).
+	Topology power.Topology
+	// SmallPeakWatts is the controller's peak classification threshold.
+	SmallPeakWatts units.Power
+	// PATConfig tunes HEB-D's allocation table; HEB-S uses a coarser
+	// variant of it (LimitedPATBins bins) per the paper's "limited
+	// profiling information".
+	PATConfig      pat.Config
+	LimitedPATBins int
+	// ProfileNoise models pilot-profiling inaccuracy in seeded tables.
+	ProfileNoise float64
+	// InitialSoC is the buffers' state of charge at run start; starting
+	// below full makes the energy-efficiency metric reflect full
+	// round-trip cycling rather than a free initial store.
+	InitialSoC float64
+	// SensorNoise injects multiplicative error on the controller's
+	// buffer-availability readings (fault-injection studies; 0 = off).
+	SensorNoise float64
+	// BatteryPreAge pre-consumes this fraction of the batteries' rated
+	// life before the run (aging studies; requires the battery config's
+	// FadeAtEOL / ResistanceGrowthAtEOL to be set to have any effect).
+	BatteryPreAge float64
+	// Seed drives workload generation (and the injected sensor noise).
+	Seed int64
+}
+
+// DefaultPrototype returns the paper's Section 6 configuration.
+func DefaultPrototype() Prototype {
+	return Prototype{
+		NumServers:     6,
+		Server:         power.DefaultServerConfig(),
+		Budget:         280,
+		StorageWh:      120,
+		SCRatio:        0.3,
+		BatteryStrings: 2,
+		SCBanks:        2,
+		Battery:        esd.DefaultBatteryConfig(),
+		Supercap:       esd.DefaultSupercapConfig(),
+		Step:           time.Second,
+		Slot:           10 * time.Minute,
+		Topology:       power.TopologyRackLevel,
+		SmallPeakWatts: 45,
+		PATConfig:      pat.DefaultConfig(),
+		LimitedPATBins: 3,
+		ProfileNoise:   0.22,
+		InitialSoC:     0.55,
+		Seed:           42,
+	}
+}
+
+// Validate reports the first invalid field.
+func (p Prototype) Validate() error {
+	switch {
+	case p.NumServers <= 0:
+		return fmt.Errorf("heb: server count %d must be positive", p.NumServers)
+	case p.Budget <= 0:
+		return fmt.Errorf("heb: budget %v must be positive", p.Budget)
+	case p.StorageWh <= 0:
+		return fmt.Errorf("heb: storage capacity %g Wh must be positive", p.StorageWh)
+	case p.SCRatio < 0 || p.SCRatio >= 1:
+		return fmt.Errorf("heb: SC ratio %g outside [0,1)", p.SCRatio)
+	case p.BatteryStrings <= 0 || p.SCBanks <= 0:
+		return fmt.Errorf("heb: pool member counts must be positive")
+	case p.Step <= 0 || p.Slot < p.Step:
+		return fmt.Errorf("heb: bad step %v / slot %v", p.Step, p.Slot)
+	case p.LimitedPATBins <= 0:
+		return fmt.Errorf("heb: limited PAT bins %d must be positive", p.LimitedPATBins)
+	case p.ProfileNoise < 0 || p.ProfileNoise > 1:
+		return fmt.Errorf("heb: profile noise %g outside [0,1]", p.ProfileNoise)
+	case p.InitialSoC < 0 || p.InitialSoC > 1:
+		return fmt.Errorf("heb: initial SoC %g outside [0,1]", p.InitialSoC)
+	case p.SensorNoise < 0 || p.SensorNoise >= 1:
+		return fmt.Errorf("heb: sensor noise %g outside [0,1)", p.SensorNoise)
+	case p.BatteryPreAge < 0 || p.BatteryPreAge > 1:
+		return fmt.Errorf("heb: battery pre-age %g outside [0,1]", p.BatteryPreAge)
+	}
+	if err := p.Server.Validate(); err != nil {
+		return err
+	}
+	if err := p.Battery.Validate(); err != nil {
+		return err
+	}
+	if err := p.Supercap.Validate(); err != nil {
+		return err
+	}
+	return p.PATConfig.Validate()
+}
+
+// Servers builds the prototype's server set.
+func (p Prototype) Servers() []*power.Server {
+	servers := make([]*power.Server, p.NumServers)
+	for i := range servers {
+		servers[i] = power.MustNewServer(i, p.Server)
+	}
+	return servers
+}
+
+// BuildBatteryPool builds a battery pool with the given total usable
+// energy, distributed over the configured number of parallel strings.
+func (p Prototype) BuildBatteryPool(totalWh float64) (*esd.Pool, error) {
+	if totalWh <= 0 {
+		return nil, fmt.Errorf("heb: battery pool capacity %g Wh must be positive", totalWh)
+	}
+	cfg := p.Battery
+	perString := totalWh / float64(p.BatteryStrings)
+	// Usable Wh = DoD × Ah × V  ⇒  Ah = Wh / (DoD × V).
+	refAh := cfg.CapacityAh
+	cfg.CapacityAh = perString / (cfg.DoD * float64(cfg.NominalVoltage))
+	// Internal resistance scales inversely with cell capacity: a 1 Ah
+	// block of the same chemistry has ~8x the resistance of an 8 Ah one.
+	if refAh > 0 && cfg.CapacityAh > 0 {
+		scale := refAh / cfg.CapacityAh
+		cfg.InternalOhm *= scale
+		cfg.SagOhm *= scale
+	}
+	members := make([]esd.Device, p.BatteryStrings)
+	for i := range members {
+		b, err := esd.NewBattery(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if p.BatteryPreAge > 0 {
+			b.PreAge(p.BatteryPreAge)
+		}
+		members[i] = b
+	}
+	return esd.NewPool("battery", members...)
+}
+
+// BuildSupercapPool builds an SC pool with the given total usable energy,
+// distributed over the configured number of parallel banks. A zero
+// capacity returns (nil, nil): battery-only systems simply have no pool.
+func (p Prototype) BuildSupercapPool(totalWh float64) (*esd.Pool, error) {
+	if totalWh == 0 {
+		return nil, nil
+	}
+	if totalWh < 0 {
+		return nil, fmt.Errorf("heb: SC pool capacity %g Wh must be positive", totalWh)
+	}
+	cfg := p.Supercap
+	perBank := totalWh / float64(p.SCBanks)
+	vmax, vmin := float64(cfg.VMax), float64(cfg.VMin)
+	// Usable J = ½C(Vmax²−Vmin²)·DoD ⇒ C = 2·J / ((Vmax²−Vmin²)·DoD).
+	refC := cfg.Capacitance
+	cfg.Capacitance = 2 * perBank * 3600 / ((vmax*vmax - vmin*vmin) * cfg.DoD)
+	// ESR scales inversely with capacitance for the same cell family.
+	if refC > 0 && cfg.Capacitance > 0 {
+		cfg.ESR *= refC / cfg.Capacitance
+	}
+	members := make([]esd.Device, p.SCBanks)
+	for i := range members {
+		s, err := esd.NewSupercap(cfg)
+		if err != nil {
+			return nil, err
+		}
+		members[i] = s
+	}
+	return esd.NewPool("supercap", members...)
+}
+
+// BuildPools builds the battery and SC pools for the scheme: hybrid
+// schemes split StorageWh by SCRatio; BaOnly puts everything in batteries
+// (the equal-total-capacity comparison of Section 7).
+func (p Prototype) BuildPools(id SchemeID) (battery, supercap *esd.Pool, err error) {
+	scShare := p.SCRatio
+	if !id.Hybrid() {
+		scShare = 0
+	}
+	battery, err = p.BuildBatteryPool(p.StorageWh * (1 - scShare))
+	if err != nil {
+		return nil, nil, err
+	}
+	supercap, err = p.BuildSupercapPool(p.StorageWh * scShare)
+	if err != nil {
+		return nil, nil, err
+	}
+	return battery, supercap, nil
+}
+
+// BuildScheme constructs the scheme and its matching predictors: HEB-F
+// uses the naive last-slot predictor (that is its defining limitation);
+// everything else uses Holt-Winters. HEB-S gets a coarse noisy profiled
+// table; HEB-D a fine noisy table it will optimize online.
+func (p Prototype) BuildScheme(id SchemeID, scCap, baCap units.Energy) (core.Scheme, forecast.Predictor, forecast.Predictor, error) {
+	hw := func() forecast.Predictor {
+		// Seasonless Holt smoothing: the evaluation runs span hours,
+		// not the multiple days a daily season needs to warm up.
+		cfg := forecast.DefaultHoltWintersConfig()
+		cfg.SeasonLength = 0
+		return forecast.MustNewHoltWinters(cfg)
+	}
+	maxPM := units.Power(float64(p.NumServers)*float64(p.Server.PeakPower)) - p.Budget
+	if maxPM < 0 {
+		maxPM = 0
+	}
+	switch id {
+	case BaOnly:
+		return core.NewBaOnly(), hw(), hw(), nil
+	case BaFirst:
+		return core.NewBaFirst(), hw(), hw(), nil
+	case SCFirst:
+		return core.NewSCFirst(), hw(), hw(), nil
+	case HEBF:
+		return core.NewHEBF(), forecast.NewNaive(), forecast.NewNaive(), nil
+	case HEBS:
+		cfg := p.PATConfig
+		cfg.LevelBins = p.LimitedPATBins
+		table, err := pat.New(cfg)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		core.SeedPAT(table, scCap, baCap, maxPM, core.DefaultBatteryDerate, p.ProfileNoise)
+		return core.NewHEBS(table), hw(), hw(), nil
+	case HEBD:
+		table, err := pat.New(p.PATConfig)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		core.SeedPAT(table, scCap, baCap, maxPM, core.DefaultBatteryDerate, p.ProfileNoise)
+		return core.NewHEBD(table), hw(), hw(), nil
+	default:
+		return nil, nil, nil, fmt.Errorf("heb: unknown scheme %d", int(id))
+	}
+}
+
+// RunOptions adjust a single scheme run.
+type RunOptions struct {
+	// Duration overrides the workload trace duration.
+	Duration time.Duration
+	// Feed overrides the default budgeted utility feed (e.g. a solar
+	// trace feed); Renewable marks it as intermittent generation.
+	Feed      power.Feed
+	Renewable bool
+	// Budget overrides the prototype budget for this run.
+	Budget units.Power
+	// Observer receives a per-tick snapshot (telemetry hook).
+	Observer func(sim.StepInfo)
+	// PeakPredictor and ValleyPredictor override the scheme's default
+	// predictors (for ablations, e.g. a forecast.Oracle).
+	PeakPredictor, ValleyPredictor forecast.Predictor
+	// Table overrides the PAT for HEB-S / HEB-D runs — e.g. a table
+	// learned by a previous run and persisted with pat.Save. Ignored by
+	// schemes that have no table.
+	Table *pat.Table
+	// TableSink, when set, receives the scheme's PAT after the run
+	// (HEB-S / HEB-D only), so callers can persist what was learned.
+	TableSink func(*pat.Table)
+}
+
+// Run executes one scheme on one workload trace and returns the
+// simulation result. The workload width must match the prototype's server
+// count.
+func (p Prototype) Run(id SchemeID, workload Workload, opts RunOptions) (sim.Result, error) {
+	if err := p.Validate(); err != nil {
+		return sim.Result{}, err
+	}
+	budget := p.Budget
+	if opts.Budget > 0 {
+		budget = opts.Budget
+	}
+	battery, supercap, err := p.BuildPools(id)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	battery.SetSoC(p.InitialSoC)
+	if supercap != nil {
+		supercap.SetSoC(p.InitialSoC)
+	}
+	var scCap units.Energy
+	if supercap != nil {
+		scCap = supercap.Capacity()
+	}
+	scheme, peakPred, valleyPred, err := p.BuildScheme(id, scCap, battery.Capacity())
+	if err != nil {
+		return sim.Result{}, err
+	}
+	if opts.PeakPredictor != nil {
+		peakPred = opts.PeakPredictor
+	}
+	if opts.ValleyPredictor != nil {
+		valleyPred = opts.ValleyPredictor
+	}
+	if opts.Table != nil {
+		switch id {
+		case HEBS:
+			scheme = core.NewHEBS(opts.Table)
+		case HEBD:
+			scheme = core.NewHEBD(opts.Table)
+		}
+	}
+	ctrl, err := core.NewController(core.Config{
+		SmallPeakWatts:  p.SmallPeakWatts,
+		Budget:          budget,
+		NumServers:      p.NumServers,
+		PeakPredictor:   peakPred,
+		ValleyPredictor: valleyPred,
+		SensorNoise:     p.SensorNoise,
+		NoiseSeed:       p.Seed,
+	}, scheme)
+	if err != nil {
+		return sim.Result{}, err
+	}
+
+	feed := opts.Feed
+	if feed == nil {
+		f, err := power.NewUtilityFeed(budget)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		feed = f
+	}
+
+	tr, err := workload.Trace(p)
+	if err != nil {
+		return sim.Result{}, err
+	}
+
+	charge := sim.ChargeSupercapFirst
+	switch id {
+	case BaOnly:
+		charge = sim.ChargeBatteryOnly
+	case BaFirst:
+		charge = sim.ChargeBatteryFirst
+	}
+	var scDev esd.Device
+	if supercap != nil {
+		scDev = supercap
+	}
+	servers := p.Servers()
+	if workload.freqSet {
+		for _, s := range servers {
+			s.SetFreq(workload.freq)
+		}
+	}
+	eng, err := sim.New(sim.Config{
+		Step:           p.Step,
+		Slot:           p.Slot,
+		Duration:       opts.Duration,
+		Servers:        servers,
+		Workload:       tr,
+		Battery:        battery,
+		Supercap:       scDev,
+		Feed:           feed,
+		Renewable:      opts.Renewable,
+		Controller:     ctrl,
+		Topology:       p.Topology,
+		ChargePriority: charge,
+		Observer:       opts.Observer,
+	})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	res := eng.Run()
+	if opts.TableSink != nil {
+		if table, ok := core.Table(scheme); ok {
+			opts.TableSink(table)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,90 @@
+// Package ascii renders time series as terminal sparklines and small
+// charts — the text stand-in for the prototype's live monitoring screen
+// (Figure 11, item 5) used by hebsim's curve views.
+package ascii
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// levels are the eighth-block characters from empty to full.
+var levels = []rune(" ▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a one-line block-character graph scaled to
+// [min, max] of the data. Width ≤ 0 keeps one rune per value; otherwise
+// the series is bucket-averaged down to width runes.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	vals := values
+	if width > 0 && len(values) > width {
+		vals = bucketMeans(values, width)
+	}
+	lo, hi := minMax(vals)
+	span := hi - lo
+	var b strings.Builder
+	for _, v := range vals {
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(levels)-1))
+		} else if v > 0 {
+			idx = len(levels) - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}
+
+// Chart renders a labelled sparkline with its range, e.g.
+//
+//	demand  [180.0, 410.0] ▁▁▂▇██▃▁...
+func Chart(label string, values []float64, width int) string {
+	if len(values) == 0 {
+		return fmt.Sprintf("%-10s (no data)", label)
+	}
+	lo, hi := minMax(values)
+	return fmt.Sprintf("%-10s [%.1f, %.1f] %s", label, lo, hi, Sparkline(values, width))
+}
+
+// bucketMeans shrinks values to n buckets by averaging.
+func bucketMeans(values []float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(values) / n
+		hi := (i + 1) * len(values) / n
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > len(values) {
+			hi = len(values)
+		}
+		var sum float64
+		for _, v := range values[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+func minMax(values []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,97 @@
+package ascii
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSparklineEmpty(t *testing.T) {
+	if got := Sparkline(nil, 10); got != "" {
+		t.Errorf("empty input rendered %q", got)
+	}
+}
+
+func TestSparklineShape(t *testing.T) {
+	got := Sparkline([]float64{0, 1, 2, 3}, 0)
+	if utf8.RuneCountInString(got) != 4 {
+		t.Fatalf("rendered %d runes, want 4 (%q)", utf8.RuneCountInString(got), got)
+	}
+	runes := []rune(got)
+	// Monotone input must render monotone glyph levels.
+	for i := 1; i < len(runes); i++ {
+		if indexOf(runes[i]) < indexOf(runes[i-1]) {
+			t.Errorf("non-monotone rendering %q", got)
+		}
+	}
+	if indexOf(runes[0]) != 0 {
+		t.Errorf("minimum not at lowest glyph: %q", got)
+	}
+	if indexOf(runes[3]) != len(levels)-1 {
+		t.Errorf("maximum not at highest glyph: %q", got)
+	}
+}
+
+func indexOf(r rune) int {
+	for i, l := range levels {
+		if l == r {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestSparklineConstantSeries(t *testing.T) {
+	got := Sparkline([]float64{5, 5, 5}, 0)
+	runes := []rune(got)
+	for _, r := range runes {
+		if r != runes[0] {
+			t.Errorf("constant series not flat: %q", got)
+		}
+	}
+	// All-zero constant stays at the bottom glyph.
+	zero := []rune(Sparkline([]float64{0, 0}, 0))
+	if indexOf(zero[0]) != 0 {
+		t.Errorf("zero series rendered %q", string(zero))
+	}
+}
+
+func TestSparklineDownsamples(t *testing.T) {
+	values := make([]float64, 1000)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	got := Sparkline(values, 40)
+	if utf8.RuneCountInString(got) != 40 {
+		t.Errorf("downsampled to %d runes, want 40", utf8.RuneCountInString(got))
+	}
+}
+
+func TestSparklineNoWidthKeepsLength(t *testing.T) {
+	got := Sparkline([]float64{1, 2, 3, 4, 5}, 100)
+	if utf8.RuneCountInString(got) != 5 {
+		t.Errorf("width larger than data changed length: %q", got)
+	}
+}
+
+func TestChart(t *testing.T) {
+	got := Chart("demand", []float64{100, 400}, 10)
+	if !strings.Contains(got, "demand") || !strings.Contains(got, "[100.0, 400.0]") {
+		t.Errorf("chart missing label/range: %q", got)
+	}
+	if got := Chart("x", nil, 10); !strings.Contains(got, "no data") {
+		t.Errorf("empty chart: %q", got)
+	}
+}
+
+func TestBucketMeans(t *testing.T) {
+	out := bucketMeans([]float64{1, 3, 5, 7}, 2)
+	if len(out) != 2 || out[0] != 2 || out[1] != 6 {
+		t.Errorf("bucketMeans = %v, want [2 6]", out)
+	}
+	// n larger than input: still n buckets, each from >= 1 value.
+	out = bucketMeans([]float64{1, 2}, 4)
+	if len(out) != 4 {
+		t.Errorf("bucketMeans length %d, want 4", len(out))
+	}
+}

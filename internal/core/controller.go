@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"heb/internal/forecast"
+	"heb/internal/pat"
+	"heb/internal/units"
+)
+
+// Config tunes the hControl controller.
+type Config struct {
+	// SmallPeakWatts is the ΔPM threshold separating small peaks
+	// (handled SC-first) from large peaks (handled by R_λ splitting).
+	// The paper classifies on the predicted average peak height.
+	SmallPeakWatts units.Power
+	// Budget is the provisioned utility power the controller defends.
+	Budget units.Power
+	// NumServers is the cluster size.
+	NumServers int
+	// PeakPredictor and ValleyPredictor forecast the two per-slot
+	// series. Nil defaults to Holt-Winters with default tuning.
+	PeakPredictor, ValleyPredictor forecast.Predictor
+
+	// SensorNoise injects multiplicative measurement error on the
+	// buffer-availability readings the controller receives: each slot's
+	// SC/BA readings are scaled by 1 ± U(0, SensorNoise). Zero means
+	// perfect sensors; fault-injection experiments raise it.
+	SensorNoise float64
+	// NoiseSeed makes the injected noise reproducible.
+	NoiseSeed int64
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	switch {
+	case c.SmallPeakWatts < 0:
+		return fmt.Errorf("core: small-peak threshold %v must be non-negative", c.SmallPeakWatts)
+	case c.Budget <= 0:
+		return fmt.Errorf("core: budget %v must be positive", c.Budget)
+	case c.NumServers <= 0:
+		return fmt.Errorf("core: server count %d must be positive", c.NumServers)
+	case c.SensorNoise < 0 || c.SensorNoise >= 1:
+		return fmt.Errorf("core: sensor noise %g outside [0,1)", c.SensorNoise)
+	}
+	return nil
+}
+
+// Controller is hControl: it owns the demand predictors and drives a
+// Scheme through the slot lifecycle. The simulation engine calls
+// PlanSlot at each slot start and FinishSlot at each slot end.
+type Controller struct {
+	cfg    Config
+	scheme Scheme
+
+	peakPred, valleyPred forecast.Predictor
+	peakErr, valleyErr   forecast.Errors
+
+	lastView  SlotView
+	haveSlot  bool
+	slotCount int
+
+	noise *rand.Rand
+}
+
+// NewController wires a controller around the given scheme.
+func NewController(cfg Config, scheme Scheme) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if scheme == nil {
+		return nil, fmt.Errorf("core: controller needs a scheme")
+	}
+	c := &Controller{cfg: cfg, scheme: scheme}
+	c.peakPred = cfg.PeakPredictor
+	if c.peakPred == nil {
+		c.peakPred = forecast.MustNewHoltWinters(forecast.DefaultHoltWintersConfig())
+	}
+	c.valleyPred = cfg.ValleyPredictor
+	if c.valleyPred == nil {
+		c.valleyPred = forecast.MustNewHoltWinters(forecast.DefaultHoltWintersConfig())
+	}
+	if cfg.SensorNoise > 0 {
+		c.noise = rand.New(rand.NewSource(cfg.NoiseSeed))
+	}
+	return c, nil
+}
+
+// MustNewController is NewController for known-good configs.
+func MustNewController(cfg Config, scheme Scheme) *Controller {
+	c, err := NewController(cfg, scheme)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Scheme returns the wrapped scheme.
+func (c *Controller) Scheme() Scheme { return c.scheme }
+
+// SlotCount returns how many slots have been planned.
+func (c *Controller) SlotCount() int { return c.slotCount }
+
+// PlanSlot builds the slot view from sensor feedback, runs the forecast
+// and classification, and returns the scheme's decision. scAvail/baAvail
+// are the pools' current usable energies; scCap/baCap their capacities.
+func (c *Controller) PlanSlot(scAvail, scCap, baAvail, baCap units.Energy) (SlotView, Decision) {
+	if c.noise != nil {
+		scAvail = c.perturb(scAvail, scCap)
+		baAvail = c.perturb(baAvail, baCap)
+	}
+	v := SlotView{
+		SCAvail:    scAvail,
+		BAAvail:    baAvail,
+		SCFrac:     frac(scAvail, scCap),
+		BAFrac:     frac(baAvail, baCap),
+		Budget:     c.cfg.Budget,
+		NumServers: c.cfg.NumServers,
+	}
+	v.PredictedPeak = units.Power(math.Max(0, c.peakPred.Predict()))
+	v.PredictedValley = units.Power(math.Max(0, c.valleyPred.Predict()))
+	pm := v.PredictedPeak - v.PredictedValley
+	if pm < 0 {
+		pm = 0
+	}
+	v.PredictedPM = pm
+	// Classification: a slot is a small peak when the predicted
+	// mismatch height above the budget is below the threshold. The
+	// mismatch that storage must serve is peak minus budget (demand
+	// below the budget comes from utility).
+	over := v.PredictedPeak - v.Budget
+	if over < 0 {
+		over = 0
+	}
+	v.PredictedOver = over
+	v.SmallPeak = over <= c.cfg.SmallPeakWatts
+	c.lastView = v
+	c.haveSlot = true
+	c.slotCount++
+	return v, c.scheme.Plan(v)
+}
+
+// FinishSlot feeds the observed slot result back: predictor updates,
+// accuracy accounting and the scheme's own learning.
+func (c *Controller) FinishSlot(r SlotResult) {
+	if !c.haveSlot {
+		return
+	}
+	c.peakErr.Record(float64(c.lastView.PredictedPeak), float64(r.ActualPeak))
+	c.valleyErr.Record(float64(c.lastView.PredictedValley), float64(r.ActualValley))
+	c.peakPred.Observe(float64(r.ActualPeak))
+	c.valleyPred.Observe(float64(r.ActualValley))
+	c.scheme.Learn(c.lastView, r)
+	c.haveSlot = false
+}
+
+// PredictionErrors returns the peak and valley accuracy trackers.
+func (c *Controller) PredictionErrors() (peak, valley forecast.Errors) {
+	return c.peakErr, c.valleyErr
+}
+
+// perturb applies the injected multiplicative sensor error, clamped to
+// the physically possible [0, capacity] range.
+func (c *Controller) perturb(v, capacity units.Energy) units.Energy {
+	f := 1 + (c.noise.Float64()*2-1)*c.cfg.SensorNoise
+	out := units.Energy(float64(v) * f)
+	if out < 0 {
+		out = 0
+	}
+	if capacity > 0 && out > capacity {
+		out = capacity
+	}
+	return out
+}
+
+func frac(avail, capacity units.Energy) float64 {
+	if capacity <= 0 {
+		return 0
+	}
+	return units.Clamp(float64(avail)/float64(capacity), 0, 1)
+}
+
+// SeedPAT fills a table with the horizon-ratio heuristic evaluated at
+// every bin center, emulating the paper's pilot-profiling bootstrap. The
+// noise parameter perturbs each seeded ratio deterministically (by a hash
+// of the bin) to model pilot-measurement inaccuracy: HEB-S lives with the
+// error, HEB-D corrects it online. scCap anchors the energy scale; maxPM
+// bounds the mismatch range to profile. The unused baCap parameter keeps
+// the profiling signature symmetric for future battery-aware seeds.
+func SeedPAT(t *pat.Table, scCap, baCap units.Energy, maxPM units.Power, derate, noise float64) int {
+	_ = derate
+	_ = baCap
+	cfg := t.Config()
+	added := 0
+	pmBins := int(float64(maxPM)/cfg.PMBinWatts) + 1
+	for si := 0; si < cfg.LevelBins; si++ {
+		for bi := 0; bi < cfg.LevelBins; bi++ {
+			for pi := 0; pi < pmBins; pi++ {
+				scFrac := (float64(si) + 0.5) / float64(cfg.LevelBins)
+				baFrac := (float64(bi) + 0.5) / float64(cfg.LevelBins)
+				pm := units.Power((float64(pi) + 0.5) * cfg.PMBinWatts)
+				r := HorizonRatio(
+					units.Energy(scFrac*float64(scCap)),
+					pm,
+					DefaultPlanningHorizon,
+				)
+				if noise > 0 {
+					r = units.Clamp(r+noise*hashNoise(si, bi, pi), 0, 1)
+				}
+				t.Add(scFrac, baFrac, pm, r)
+				added++
+			}
+		}
+	}
+	return added
+}
+
+// hashNoise maps a bin to a deterministic pseudo-random value in [-1, 1].
+func hashNoise(a, b, c int) float64 {
+	h := uint64(a)*0x9E3779B97F4A7C15 ^ uint64(b)*0xC2B2AE3D27D4EB4F ^ uint64(c)*0x165667B19E3779F9
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return float64(h%20001)/10000 - 1
+}

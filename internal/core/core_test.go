@@ -1,0 +1,436 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"heb/internal/forecast"
+	"heb/internal/pat"
+	"heb/internal/units"
+)
+
+func testConfig() Config {
+	return Config{SmallPeakWatts: 50, Budget: 260, NumServers: 6}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := testConfig()
+	cfg.SmallPeakWatts = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("accepted negative threshold")
+	}
+	cfg = testConfig()
+	cfg.Budget = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("accepted zero budget")
+	}
+	cfg = testConfig()
+	cfg.NumServers = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("accepted zero servers")
+	}
+}
+
+func TestBalancedRatio(t *testing.T) {
+	tests := []struct {
+		name   string
+		sc, ba units.Energy
+		derate float64
+		want   float64
+	}{
+		{"equal pools derate 1", 100, 100, 1, 0.5},
+		{"sc empty", 0, 100, 1, 0},
+		{"ba empty", 100, 0, 1, 1},
+		{"both empty", 0, 0, 1, 0.5},
+		{"paper 3:7 split", 30, 70, 1, 0.3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := BalancedRatio(tt.sc, tt.ba, tt.derate); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("BalancedRatio = %g, want %g", got, tt.want)
+			}
+		})
+	}
+	// Derating the battery shifts load toward the SC pool.
+	if BalancedRatio(50, 50, 0.8) <= BalancedRatio(50, 50, 1.0) {
+		t.Error("derate did not shift load toward SC")
+	}
+}
+
+func TestBalancedRatioBoundsProperty(t *testing.T) {
+	f := func(sc, ba uint16, derate float64) bool {
+		if math.IsNaN(derate) {
+			return true
+		}
+		r := BalancedRatio(units.Energy(sc), units.Energy(ba), derate)
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBaselineSchemes(t *testing.T) {
+	v := SlotView{SCAvail: 100, BAAvail: 100, PredictedPM: 200}
+	tests := []struct {
+		scheme Scheme
+		name   string
+		mode   Mode
+	}{
+		{NewBaOnly(), "BaOnly", ModeBatteryOnly},
+		{NewBaFirst(), "BaFirst", ModeBatteryFirst},
+		{NewSCFirst(), "SCFirst", ModeSupercapFirst},
+	}
+	for _, tt := range tests {
+		if tt.scheme.Name() != tt.name {
+			t.Errorf("name %q, want %q", tt.scheme.Name(), tt.name)
+		}
+		if d := tt.scheme.Plan(v); d.Mode != tt.mode {
+			t.Errorf("%s plans %v, want %v", tt.name, d.Mode, tt.mode)
+		}
+		tt.scheme.Learn(v, SlotResult{}) // must not panic
+	}
+}
+
+func TestHEBFSmallVsLargePeaks(t *testing.T) {
+	s := NewHEBF()
+	small := SlotView{SmallPeak: true, SCAvail: 30, BAAvail: 70}
+	if d := s.Plan(small); d.Mode != ModeSupercapFirst {
+		t.Errorf("small peak mode %v, want supercap-first", d.Mode)
+	}
+	large := SlotView{
+		SmallPeak: false,
+		SCAvail:   units.WattHours(30), BAAvail: units.WattHours(70),
+		PredictedPM: 150, PredictedOver: 120,
+	}
+	d := s.Plan(large)
+	if d.Mode != ModeSplit {
+		t.Fatalf("large peak mode %v, want split", d.Mode)
+	}
+	want := HorizonRatio(units.WattHours(30), 120, DefaultPlanningHorizon)
+	if math.Abs(d.Ratio-want) > 1e-12 {
+		t.Errorf("ratio %g, want horizon %g", d.Ratio, want)
+	}
+}
+
+func TestHorizonRatio(t *testing.T) {
+	// 30 Wh sustains 60 W for 30 minutes: at a 120 W load the SC should
+	// carry half.
+	if got := HorizonRatio(units.WattHours(30), 120, 30*time.Minute); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("HorizonRatio = %g, want 0.5", got)
+	}
+	// Abundant SC energy clamps at 1.
+	if got := HorizonRatio(units.WattHours(300), 120, 30*time.Minute); got != 1 {
+		t.Errorf("abundant SC ratio %g, want 1", got)
+	}
+	// Zero load or horizon: trivially 1.
+	if got := HorizonRatio(units.WattHours(30), 0, 30*time.Minute); got != 1 {
+		t.Errorf("zero-load ratio %g, want 1", got)
+	}
+	// Empty SC: 0.
+	if got := HorizonRatio(0, 120, 30*time.Minute); got != 0 {
+		t.Errorf("empty-SC ratio %g, want 0", got)
+	}
+}
+
+func TestHEBSUsesTable(t *testing.T) {
+	table := pat.MustNew(pat.DefaultConfig())
+	table.Add(0.5, 0.5, 100, 0.77)
+	s := NewHEBS(table)
+	v := SlotView{SCFrac: 0.5, BAFrac: 0.5, PredictedPM: 100, SCAvail: 50, BAAvail: 50}
+	d := s.Plan(v)
+	if d.Mode != ModeSplit || d.Ratio != 0.77 {
+		t.Errorf("plan %+v, want split at 0.77", d)
+	}
+	// Learn must not modify the static table.
+	s.Learn(v, SlotResult{ActualPM: 100, SCFracEnd: 0.1, BAFracEnd: 0.5, RatioUsed: 0.77})
+	r, _, _ := table.Lookup(0.5, 0.5, 100)
+	if r != 0.77 {
+		t.Errorf("HEB-S mutated its static table: %g", r)
+	}
+}
+
+func TestHEBSFallsBackWithoutTableEntry(t *testing.T) {
+	s := NewHEBS(pat.MustNew(pat.DefaultConfig()))
+	v := SlotView{
+		SCFrac: 0.5, BAFrac: 0.5, PredictedPM: 100, PredictedOver: 80,
+		SCAvail: units.WattHours(40), BAAvail: units.WattHours(60),
+	}
+	d := s.Plan(v)
+	want := HorizonRatio(units.WattHours(40), 80, DefaultPlanningHorizon)
+	if math.Abs(d.Ratio-want) > 1e-12 {
+		t.Errorf("fallback ratio %g, want %g", d.Ratio, want)
+	}
+}
+
+func TestHEBDLearnsFromDrift(t *testing.T) {
+	table := pat.MustNew(pat.DefaultConfig())
+	table.Add(0.5, 0.5, 100, 0.40)
+	s := NewHEBD(table)
+	v := SlotView{SCFrac: 0.5, BAFrac: 0.5, PredictedPM: 100, PredictedOver: 100}
+	// Battery drained faster than SC ⇒ ratio should rise by Δr.
+	s.Learn(v, SlotResult{
+		ActualPM: 100, ActualOver: 100, RatioUsed: 0.40,
+		SCFracEnd: 0.45, BAFracEnd: 0.20,
+	})
+	r, _, _ := table.Lookup(0.5, 0.5, 100)
+	if math.Abs(r-0.41) > 1e-12 {
+		t.Errorf("ratio after battery-fast slot %g, want 0.41", r)
+	}
+	// SC drained faster ⇒ ratio falls.
+	s.Learn(v, SlotResult{
+		ActualPM: 100, ActualOver: 100, RatioUsed: 0.41,
+		SCFracEnd: 0.10, BAFracEnd: 0.45,
+	})
+	r, _, _ = table.Lookup(0.5, 0.5, 100)
+	if math.Abs(r-0.40) > 1e-12 {
+		t.Errorf("ratio after sc-fast slot %g, want 0.40", r)
+	}
+}
+
+func TestHEBDSmallPeakSkipsLearning(t *testing.T) {
+	table := pat.MustNew(pat.DefaultConfig())
+	s := NewHEBD(table)
+	v := SlotView{SmallPeak: true, SCFrac: 0.5, BAFrac: 0.5}
+	s.Learn(v, SlotResult{ActualPM: 20, SCFracEnd: 0.1, BAFracEnd: 0.5})
+	if table.Len() != 0 {
+		t.Error("small-peak slot added a table entry")
+	}
+}
+
+func TestTableAccessor(t *testing.T) {
+	table := pat.MustNew(pat.DefaultConfig())
+	if _, ok := Table(NewHEBD(table)); !ok {
+		t.Error("HEB-D table not exposed")
+	}
+	if _, ok := Table(NewHEBS(table)); !ok {
+		t.Error("HEB-S table not exposed")
+	}
+	if _, ok := Table(NewBaOnly()); ok {
+		t.Error("BaOnly claims a table")
+	}
+}
+
+func TestControllerLifecycle(t *testing.T) {
+	c := MustNewController(testConfig(), NewSCFirst())
+	if _, err := NewController(testConfig(), nil); err == nil {
+		t.Error("accepted nil scheme")
+	}
+	v, d := c.PlanSlot(50, 100, 80, 160)
+	if d.Mode != ModeSupercapFirst {
+		t.Errorf("decision %v", d.Mode)
+	}
+	if math.Abs(v.SCFrac-0.5) > 1e-12 || math.Abs(v.BAFrac-0.5) > 1e-12 {
+		t.Errorf("fractions %g/%g, want 0.5/0.5", v.SCFrac, v.BAFrac)
+	}
+	c.FinishSlot(SlotResult{ActualPeak: 300, ActualValley: 200, ActualPM: 100})
+	if c.SlotCount() != 1 {
+		t.Errorf("slot count %d, want 1", c.SlotCount())
+	}
+	peak, _ := c.PredictionErrors()
+	if peak.N() != 1 {
+		t.Errorf("prediction errors recorded %d, want 1", peak.N())
+	}
+	// FinishSlot without a plan is a no-op.
+	c.FinishSlot(SlotResult{ActualPeak: 300})
+	peak, _ = c.PredictionErrors()
+	if peak.N() != 1 {
+		t.Error("unplanned FinishSlot recorded an error sample")
+	}
+}
+
+func TestControllerPredictionImproves(t *testing.T) {
+	// With a periodic demand, Holt-Winters predictions feed the view.
+	c := MustNewController(Config{
+		SmallPeakWatts: 50, Budget: 260, NumServers: 6,
+		PeakPredictor:   forecast.MustNewHoltWinters(forecast.HoltWintersConfig{Alpha: 0.4, Beta: 0.1, Gamma: 0.3, SeasonLength: 6}),
+		ValleyPredictor: forecast.MustNewHoltWinters(forecast.HoltWintersConfig{Alpha: 0.4, Beta: 0.1, Gamma: 0.3, SeasonLength: 6}),
+	}, NewSCFirst())
+	peaks := []float64{300, 320, 340, 360, 340, 320}
+	for i := 0; i < 60; i++ {
+		c.PlanSlot(50, 100, 80, 160)
+		c.FinishSlot(SlotResult{
+			ActualPeak:   units.Power(peaks[i%6]),
+			ActualValley: 200,
+			ActualPM:     units.Power(peaks[i%6] - 200),
+		})
+	}
+	v, _ := c.PlanSlot(50, 100, 80, 160)
+	if v.PredictedPeak < 250 || v.PredictedPeak > 400 {
+		t.Errorf("converged prediction %v outside plausible range", v.PredictedPeak)
+	}
+}
+
+func TestControllerClassification(t *testing.T) {
+	// Use naive predictors for deterministic classification.
+	mk := func() *Controller {
+		return MustNewController(Config{
+			SmallPeakWatts: 50, Budget: 260, NumServers: 6,
+			PeakPredictor: forecast.NewNaive(), ValleyPredictor: forecast.NewNaive(),
+		}, NewHEBF())
+	}
+	c := mk()
+	c.PlanSlot(50, 100, 80, 160)
+	// Peak 290 ⇒ 30 W over budget ⇒ small.
+	c.FinishSlot(SlotResult{ActualPeak: 290, ActualValley: 200, ActualPM: 90})
+	v, d := c.PlanSlot(50, 100, 80, 160)
+	if !v.SmallPeak {
+		t.Errorf("peak 30W over budget classified large (view %+v)", v)
+	}
+	if d.Mode != ModeSupercapFirst {
+		t.Errorf("small peak decision %v", d.Mode)
+	}
+	// Peak 400 ⇒ 140 W over budget ⇒ large.
+	c.FinishSlot(SlotResult{ActualPeak: 400, ActualValley: 200, ActualPM: 200})
+	v, d = c.PlanSlot(50, 100, 80, 160)
+	if v.SmallPeak {
+		t.Error("peak 140W over budget classified small")
+	}
+	if d.Mode != ModeSplit {
+		t.Errorf("large peak decision %v", d.Mode)
+	}
+}
+
+func TestControllerPMNeverNegative(t *testing.T) {
+	c := MustNewController(Config{
+		SmallPeakWatts: 50, Budget: 260, NumServers: 6,
+		PeakPredictor: forecast.NewNaive(), ValleyPredictor: forecast.NewNaive(),
+	}, NewSCFirst())
+	c.PlanSlot(50, 100, 80, 160)
+	// Pathological observation: valley above peak.
+	c.FinishSlot(SlotResult{ActualPeak: 100, ActualValley: 300})
+	v, _ := c.PlanSlot(50, 100, 80, 160)
+	if v.PredictedPM < 0 {
+		t.Errorf("negative predicted PM %v", v.PredictedPM)
+	}
+}
+
+func TestSeedPAT(t *testing.T) {
+	table := pat.MustNew(pat.Config{LevelBins: 4, PMBinWatts: 50, DeltaR: 0.01, MaxEntries: 4096})
+	n := SeedPAT(table, 100, 200, 180, 1.0, 0)
+	// 4 × 4 × ceil-ish PM bins (180/50 ⇒ bins 0..3 = 4).
+	if n != 4*4*4 {
+		t.Errorf("seeded %d entries, want 64", n)
+	}
+	if table.Len() != n {
+		t.Errorf("table has %d entries, want %d", table.Len(), n)
+	}
+	// Every seeded ratio equals the horizon ratio of its bin center.
+	r, exact, _ := table.Lookup(0.625, 0.375, 75)
+	if !exact {
+		t.Fatal("seeded bin missing")
+	}
+	want := HorizonRatio(units.Energy(0.625*100), 75, DefaultPlanningHorizon)
+	if math.Abs(r-want) > 1e-12 {
+		t.Errorf("seeded ratio %g, want %g", r, want)
+	}
+}
+
+func TestSeedPATNoiseIsDeterministicAndBounded(t *testing.T) {
+	mk := func() *pat.Table {
+		table := pat.MustNew(pat.Config{LevelBins: 5, PMBinWatts: 40, DeltaR: 0.01, MaxEntries: 4096})
+		SeedPAT(table, 100, 200, 200, 0.85, 0.15)
+		return table
+	}
+	a, b := mk(), mk()
+	ea, eb := a.Entries(), b.Entries()
+	if len(ea) != len(eb) {
+		t.Fatal("noisy seeding nondeterministic in size")
+	}
+	differs := false
+	for i := range ea {
+		if ea[i].Ratio != eb[i].Ratio {
+			t.Fatal("noisy seeding nondeterministic in values")
+		}
+		if ea[i].Ratio < 0 || ea[i].Ratio > 1 {
+			t.Fatalf("seeded ratio %g out of range", ea[i].Ratio)
+		}
+		clean := HorizonRatio(
+			units.Energy((float64(ea[i].Key.SCLevel)+0.5)/5*100),
+			units.Power((float64(ea[i].Key.PMLevel)+0.5)*40),
+			DefaultPlanningHorizon,
+		)
+		if ea[i].Ratio != clean {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("noise parameter had no effect")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range []Mode{ModeBatteryOnly, ModeBatteryFirst, ModeSupercapFirst, ModeSplit, Mode(99)} {
+		s := m.String()
+		if seen[s] {
+			t.Errorf("duplicate mode string %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestSensorNoiseValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.SensorNoise = 1.0
+	if err := cfg.Validate(); err == nil {
+		t.Error("accepted 100% sensor noise")
+	}
+	cfg.SensorNoise = -0.1
+	if err := cfg.Validate(); err == nil {
+		t.Error("accepted negative sensor noise")
+	}
+}
+
+func TestSensorNoisePerturbsReadings(t *testing.T) {
+	cfg := testConfig()
+	cfg.SensorNoise = 0.2
+	cfg.NoiseSeed = 7
+	c := MustNewController(cfg, NewSCFirst())
+	differs := false
+	for i := 0; i < 20; i++ {
+		v, _ := c.PlanSlot(50, 100, 80, 160)
+		if v.SCFrac < 0 || v.SCFrac > 1 || v.BAFrac < 0 || v.BAFrac > 1 {
+			t.Fatalf("noisy fractions out of range: %+v", v)
+		}
+		if v.SCFrac != 0.5 || v.BAFrac != 0.5 {
+			differs = true
+		}
+		c.FinishSlot(SlotResult{ActualPeak: 300, ActualValley: 200})
+	}
+	if !differs {
+		t.Error("sensor noise had no effect on any slot")
+	}
+}
+
+func TestSensorNoiseDeterministic(t *testing.T) {
+	mk := func() []float64 {
+		cfg := testConfig()
+		cfg.SensorNoise = 0.2
+		cfg.NoiseSeed = 11
+		c := MustNewController(cfg, NewSCFirst())
+		var out []float64
+		for i := 0; i < 10; i++ {
+			v, _ := c.PlanSlot(50, 100, 80, 160)
+			out = append(out, v.SCFrac)
+			c.FinishSlot(SlotResult{ActualPeak: 300, ActualValley: 200})
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different noise")
+		}
+	}
+}
+
+func TestZeroSensorNoiseExact(t *testing.T) {
+	c := MustNewController(testConfig(), NewSCFirst())
+	v, _ := c.PlanSlot(50, 100, 80, 160)
+	if v.SCFrac != 0.5 || v.BAFrac != 0.5 {
+		t.Errorf("clean sensors perturbed: %+v", v)
+	}
+}

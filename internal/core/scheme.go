@@ -1,0 +1,273 @@
+// Package core implements the HEB controller (hControl): the six power
+// management schemes of Table 2, the small/large peak classification, and
+// the slot-level control loop that combines prediction, PAT lookup and
+// online PAT optimization (paper Section 5).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"heb/internal/pat"
+	"heb/internal/units"
+)
+
+// Mode is the per-step dispatch policy the engine follows within a slot.
+type Mode int
+
+const (
+	// ModeBatteryOnly serves all storage-bound load from batteries;
+	// when the batteries cannot, servers are shed (the BaOnly baseline —
+	// there is no SC pool to fall back to).
+	ModeBatteryOnly Mode = iota
+	// ModeBatteryFirst serves from batteries until they deplete, then
+	// from super-capacitors.
+	ModeBatteryFirst
+	// ModeSupercapFirst serves from super-capacitors until they
+	// deplete, then from batteries. This is also the small-peak HEB
+	// behaviour (R_λ = 1 with battery fallback).
+	ModeSupercapFirst
+	// ModeSplit assigns a fraction Ratio of the overloaded servers to
+	// the SC pool and the rest to batteries (large-peak HEB behaviour),
+	// with cross-fallback when either pool depletes.
+	ModeSplit
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeBatteryOnly:
+		return "battery-only"
+	case ModeBatteryFirst:
+		return "battery-first"
+	case ModeSupercapFirst:
+		return "supercap-first"
+	case ModeSplit:
+		return "split"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// SlotView is what the controller knows at the start of a control slot:
+// sensor feedback from the buffers plus the demand forecast.
+type SlotView struct {
+	// SCFrac and BAFrac are available-energy fractions of the pools.
+	SCFrac, BAFrac float64
+	// SCAvail and BAAvail are the corresponding absolute energies.
+	SCAvail, BAAvail units.Energy
+	// PredictedPeak and PredictedValley are the slot's forecast power
+	// extremes; PredictedPM is their difference (ΔPM).
+	PredictedPeak, PredictedValley units.Power
+	PredictedPM                    units.Power
+	// PredictedOver is the forecast demand above the budget — the load
+	// the energy buffers must carry.
+	PredictedOver units.Power
+	// Budget is the provisioned utility power.
+	Budget units.Power
+	// NumServers is the cluster size.
+	NumServers int
+	// SmallPeak is the controller's classification of the coming slot.
+	SmallPeak bool
+}
+
+// SlotResult is what actually happened during the slot, observed at its
+// end (Figure 10 line 12: "collect running results").
+type SlotResult struct {
+	// ActualPeak and ActualValley are the measured power extremes.
+	ActualPeak, ActualValley units.Power
+	// ActualPM is their difference.
+	ActualPM units.Power
+	// ActualOver is the measured demand above the budget.
+	ActualOver units.Power
+	// SCFracEnd and BAFracEnd are the pools' availability at slot end.
+	SCFracEnd, BAFracEnd float64
+	// RatioUsed is the R_λ the engine actually applied.
+	RatioUsed float64
+}
+
+// Decision is a scheme's plan for the coming slot.
+type Decision struct {
+	Mode Mode
+	// Ratio is R_λ, used only by ModeSplit.
+	Ratio float64
+}
+
+// Scheme is a power management policy (Table 2). Plan is called at each
+// slot start; Learn at each slot end with the observed result.
+type Scheme interface {
+	Name() string
+	Plan(v SlotView) Decision
+	Learn(v SlotView, r SlotResult)
+}
+
+// BalancedRatio returns the load split R that would deplete both pools at
+// the same moment, which maximizes total runtime (the Figure 6 optimum):
+// energy drains at R·ΔPM from the SC pool and (1-R)·ΔPM·(1/derate) from
+// the battery (derate < 1 models the battery's reduced usable capacity at
+// elevated current — the Peukert effect). Setting drain times equal gives
+//
+//	R* = sc / (sc + ba·derate)
+//
+// Degenerate inputs (both pools empty) return 0.5.
+func BalancedRatio(scAvail, baAvail units.Energy, derate float64) float64 {
+	derate = units.Clamp(derate, 0.05, 1)
+	sc, ba := float64(scAvail), float64(baAvail)
+	if sc <= 0 && ba <= 0 {
+		return 0.5
+	}
+	return units.Clamp(sc/(sc+ba*derate), 0, 1)
+}
+
+// HorizonRatio returns the split that drains the SC pool exactly over the
+// expected mismatch duration: the SC sustains scAvail/horizon watts, so
+// it should carry min(1, that/load) of the load and the battery only the
+// remainder — the smallest battery current that still empties the SCs by
+// the end of the peak. This is the wear- and efficiency-optimal split the
+// paper's pilot profiling discovers ("protecting batteries from large
+// current discharging"); BalancedRatio remains the runtime-maximizing
+// worst-case split.
+func HorizonRatio(scAvail units.Energy, load units.Power, horizon time.Duration) float64 {
+	if load <= 0 || horizon <= 0 {
+		return 1 // no expected mismatch: anything the SC can take, it takes
+	}
+	sustain := scAvail.Per(horizon)
+	return units.Clamp(float64(sustain)/float64(load), 0, 1)
+}
+
+// DefaultPlanningHorizon is the expected duration of a large power
+// mismatch event used by HorizonRatio. The evaluation workloads' large
+// peaks run 20-30 minutes (Table 1 shapes).
+const DefaultPlanningHorizon = 30 * time.Minute
+
+// DefaultBatteryDerate is the usable-capacity derating applied to the
+// battery pool when computing balanced splits; the characterization runs
+// (Figure 3) put lead-acid one-shot efficiency 15-25% below nameplate at
+// peak-shaving currents.
+const DefaultBatteryDerate = 0.80
+
+// baOnly is the BaOnly baseline.
+type baOnly struct{}
+
+// NewBaOnly returns the homogeneous-battery baseline (prior work [8]).
+func NewBaOnly() Scheme { return baOnly{} }
+
+func (baOnly) Name() string               { return "BaOnly" }
+func (baOnly) Plan(SlotView) Decision     { return Decision{Mode: ModeBatteryOnly} }
+func (baOnly) Learn(SlotView, SlotResult) {}
+
+// baFirst discharges batteries first, then SCs.
+type baFirst struct{}
+
+// NewBaFirst returns the battery-priority hybrid baseline.
+func NewBaFirst() Scheme { return baFirst{} }
+
+func (baFirst) Name() string               { return "BaFirst" }
+func (baFirst) Plan(SlotView) Decision     { return Decision{Mode: ModeBatteryFirst} }
+func (baFirst) Learn(SlotView, SlotResult) {}
+
+// scFirst discharges SCs first, then batteries.
+type scFirst struct{}
+
+// NewSCFirst returns the SC-priority hybrid baseline.
+func NewSCFirst() Scheme { return scFirst{} }
+
+func (scFirst) Name() string               { return "SCFirst" }
+func (scFirst) Plan(SlotView) Decision     { return Decision{Mode: ModeSupercapFirst} }
+func (scFirst) Learn(SlotView, SlotResult) {}
+
+// hebF is the naive HEB variant: last-slot demand as its forecast (the
+// controller pairs it with a Naive predictor) and the analytic horizon
+// ratio with no table and no learning.
+type hebF struct {
+	horizon time.Duration
+}
+
+// NewHEBF returns the HEB-F scheme.
+func NewHEBF() Scheme { return &hebF{horizon: DefaultPlanningHorizon} }
+
+func (*hebF) Name() string { return "HEB-F" }
+
+func (s *hebF) Plan(v SlotView) Decision {
+	if v.SmallPeak {
+		return Decision{Mode: ModeSupercapFirst, Ratio: 1}
+	}
+	return Decision{Mode: ModeSplit, Ratio: HorizonRatio(v.SCAvail, v.PredictedOver, s.horizon)}
+}
+
+func (*hebF) Learn(SlotView, SlotResult) {}
+
+// hebS looks R_λ up in a static profiling table that is never updated.
+type hebS struct {
+	table   *pat.Table
+	horizon time.Duration
+}
+
+// NewHEBS returns the HEB-S scheme backed by the given profiled table.
+func NewHEBS(table *pat.Table) Scheme {
+	return &hebS{table: table, horizon: DefaultPlanningHorizon}
+}
+
+func (*hebS) Name() string { return "HEB-S" }
+
+func (s *hebS) Plan(v SlotView) Decision {
+	if v.SmallPeak {
+		return Decision{Mode: ModeSupercapFirst, Ratio: 1}
+	}
+	r, _, found := s.table.Lookup(v.SCFrac, v.BAFrac, v.PredictedOver)
+	if !found {
+		r = HorizonRatio(v.SCAvail, v.PredictedOver, s.horizon)
+	}
+	return Decision{Mode: ModeSplit, Ratio: r}
+}
+
+func (*hebS) Learn(SlotView, SlotResult) {}
+
+// hebD is the full dynamic scheme: PAT lookup plus the Figure 10
+// add/±Δr optimization at every slot end.
+type hebD struct {
+	table   *pat.Table
+	horizon time.Duration
+}
+
+// NewHEBD returns the HEB-D scheme backed by the given (seeded or empty)
+// table, which it will optimize online.
+func NewHEBD(table *pat.Table) Scheme {
+	return &hebD{table: table, horizon: DefaultPlanningHorizon}
+}
+
+func (*hebD) Name() string { return "HEB-D" }
+
+func (s *hebD) Plan(v SlotView) Decision {
+	if v.SmallPeak {
+		return Decision{Mode: ModeSupercapFirst, Ratio: 1}
+	}
+	r, _, found := s.table.Lookup(v.SCFrac, v.BAFrac, v.PredictedOver)
+	if !found {
+		r = HorizonRatio(v.SCAvail, v.PredictedOver, s.horizon)
+	}
+	return Decision{Mode: ModeSplit, Ratio: r}
+}
+
+// Learn implements Figure 10 lines 12-23: add the observed operating point
+// if it is new, otherwise nudge the stored ratio toward whichever pool
+// drained slower.
+func (s *hebD) Learn(v SlotView, r SlotResult) {
+	if v.SmallPeak {
+		return // small peaks bypass the table
+	}
+	drift := pat.ClassifyDrift(v.SCFrac, v.BAFrac, r.SCFracEnd, r.BAFracEnd)
+	s.table.Update(v.SCFrac, v.BAFrac, r.ActualOver, r.RatioUsed, drift)
+}
+
+// Table exposes the scheme's PAT for inspection (HEB-S and HEB-D).
+func Table(s Scheme) (*pat.Table, bool) {
+	switch sc := s.(type) {
+	case *hebS:
+		return sc.table, true
+	case *hebD:
+		return sc.table, true
+	default:
+		return nil, false
+	}
+}

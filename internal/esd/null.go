@@ -1,0 +1,52 @@
+package esd
+
+import (
+	"time"
+
+	"heb/internal/units"
+)
+
+// Null is the no-storage device: zero capacity, refuses all transfers.
+// It stands in for the energy buffers in baselines that have none — e.g.
+// the DVFS power-capping baseline the paper contrasts against (Section 1:
+// performance scaling "can forcefully cap power mismatches at the cost of
+// performance degradation").
+type Null struct{}
+
+var _ Device = Null{}
+
+// Discharge implements Device: nothing to give.
+func (Null) Discharge(units.Power, time.Duration) units.Power { return 0 }
+
+// Charge implements Device: nothing to fill.
+func (Null) Charge(units.Power, time.Duration) units.Power { return 0 }
+
+// SoC implements Device.
+func (Null) SoC() float64 { return 0 }
+
+// Stored implements Device.
+func (Null) Stored() units.Energy { return 0 }
+
+// Capacity implements Device.
+func (Null) Capacity() units.Energy { return 0 }
+
+// Voltage implements Device.
+func (Null) Voltage() units.Voltage { return 0 }
+
+// MaxDischargePower implements Device.
+func (Null) MaxDischargePower() units.Power { return 0 }
+
+// MaxChargePower implements Device.
+func (Null) MaxChargePower() units.Power { return 0 }
+
+// Depleted implements Device: always.
+func (Null) Depleted() bool { return true }
+
+// Stats implements Device.
+func (Null) Stats() Stats { return Stats{} }
+
+// Rest implements Device.
+func (Null) Rest(time.Duration) {}
+
+// Reset implements Device.
+func (Null) Reset() {}

@@ -1,0 +1,266 @@
+package esd
+
+import (
+	"fmt"
+	"time"
+
+	"heb/internal/units"
+)
+
+// Pool aggregates parallel devices (battery strings or super-capacitor
+// banks behind a shared DC bus) into one Device. Load and charge power is
+// split across members in proportion to their present capability, which is
+// how paralleled strings share current in practice: a sagging string
+// naturally carries less.
+type Pool struct {
+	name    string
+	members []Device
+}
+
+var _ Device = (*Pool)(nil)
+
+// NewPool builds a pool from one or more member devices.
+func NewPool(name string, members ...Device) (*Pool, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("esd: pool %q needs at least one member", name)
+	}
+	for i, m := range members {
+		if m == nil {
+			return nil, fmt.Errorf("esd: pool %q member %d is nil", name, i)
+		}
+	}
+	return &Pool{name: name, members: members}, nil
+}
+
+// MustNewPool is NewPool for known-good member lists.
+func MustNewPool(name string, members ...Device) *Pool {
+	p, err := NewPool(name, members...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name returns the pool's name (e.g. "battery", "supercap").
+func (p *Pool) Name() string { return p.name }
+
+// Members returns the member devices (shared, not copied).
+func (p *Pool) Members() []Device { return p.members }
+
+// Size returns the member count.
+func (p *Pool) Size() int { return len(p.members) }
+
+// SoC is the capacity-weighted mean state of charge.
+func (p *Pool) SoC() float64 {
+	var num, den float64
+	for _, m := range p.members {
+		c := float64(m.Capacity())
+		num += m.SoC() * c
+		den += c
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Stored sums members' usable stored energy.
+func (p *Pool) Stored() units.Energy {
+	var e units.Energy
+	for _, m := range p.members {
+		e += m.Stored()
+	}
+	return e
+}
+
+// Capacity sums members' usable capacity.
+func (p *Pool) Capacity() units.Energy {
+	var e units.Energy
+	for _, m := range p.members {
+		e += m.Capacity()
+	}
+	return e
+}
+
+// Voltage reports the highest member voltage (the bus follows the
+// strongest string through its ORing diode).
+func (p *Pool) Voltage() units.Voltage {
+	var v units.Voltage
+	for _, m := range p.members {
+		if mv := m.Voltage(); mv > v {
+			v = mv
+		}
+	}
+	return v
+}
+
+// TerminalVoltage estimates the loaded bus voltage while delivering load
+// watts: each member carries a share proportional to its capability, and
+// the bus sits at the capability-weighted mean of member terminals.
+func (p *Pool) TerminalVoltage(load units.Power) units.Voltage {
+	caps := make([]units.Power, len(p.members))
+	var capSum units.Power
+	for i, m := range p.members {
+		caps[i] = m.MaxDischargePower()
+		capSum += caps[i]
+	}
+	if capSum <= 0 {
+		return p.Voltage()
+	}
+	if load > capSum {
+		load = capSum
+	}
+	var num, den float64
+	for i, m := range p.members {
+		tv, ok := m.(interface {
+			TerminalVoltage(units.Power) units.Voltage
+		})
+		if !ok {
+			continue
+		}
+		share := units.Power(float64(load) * float64(caps[i]) / float64(capSum))
+		w := float64(caps[i])
+		num += float64(tv.TerminalVoltage(share)) * w
+		den += w
+	}
+	if den == 0 {
+		return p.Voltage()
+	}
+	return units.Voltage(num / den)
+}
+
+// MaxDischargePower sums member discharge capability.
+func (p *Pool) MaxDischargePower() units.Power {
+	var pw units.Power
+	for _, m := range p.members {
+		pw += m.MaxDischargePower()
+	}
+	return pw
+}
+
+// MaxChargePower sums member charge acceptance.
+func (p *Pool) MaxChargePower() units.Power {
+	var pw units.Power
+	for _, m := range p.members {
+		pw += m.MaxChargePower()
+	}
+	return pw
+}
+
+// Depleted reports whether every member is depleted.
+func (p *Pool) Depleted() bool {
+	for _, m := range p.members {
+		if !m.Depleted() {
+			return false
+		}
+	}
+	return true
+}
+
+// Discharge splits req across members in proportion to their capability
+// and returns total delivered power.
+func (p *Pool) Discharge(req units.Power, dt time.Duration) units.Power {
+	return p.transfer(req, dt, Device.MaxDischargePower, Device.Discharge)
+}
+
+// Charge splits offered watts across members in proportion to their
+// acceptance and returns total input power drawn.
+func (p *Pool) Charge(offered units.Power, dt time.Duration) units.Power {
+	return p.transfer(offered, dt, Device.MaxChargePower, Device.Charge)
+}
+
+// transfer implements the proportional split shared by Discharge and
+// Charge. Each member's share is proportional to its instantaneous
+// capability, so no member is asked for more than it can serve and every
+// member is dispatched exactly once per step (keeping recovery and leakage
+// time in sync across the pool).
+func (p *Pool) transfer(
+	total units.Power,
+	dt time.Duration,
+	capability func(Device) units.Power,
+	op func(Device, units.Power, time.Duration) units.Power,
+) units.Power {
+	caps := make([]units.Power, len(p.members))
+	var capSum units.Power
+	for i, m := range p.members {
+		caps[i] = capability(m)
+		capSum += caps[i]
+	}
+	if total <= 0 || capSum <= 0 {
+		for _, m := range p.members {
+			m.Rest(dt)
+		}
+		return 0
+	}
+	if total > capSum {
+		total = capSum
+	}
+	var moved units.Power
+	for i, m := range p.members {
+		share := units.Power(float64(total) * float64(caps[i]) / float64(capSum))
+		moved += op(m, share, dt)
+	}
+	return moved
+}
+
+// Rest advances all members without load.
+func (p *Pool) Rest(dt time.Duration) {
+	for _, m := range p.members {
+		m.Rest(dt)
+	}
+}
+
+// Stats sums member ledgers.
+func (p *Pool) Stats() Stats {
+	var s Stats
+	for _, m := range p.members {
+		s.add(m.Stats())
+	}
+	return s
+}
+
+// Reset resets all members.
+func (p *Pool) Reset() {
+	for _, m := range p.members {
+		m.Reset()
+	}
+}
+
+// SetSoC forces every member supporting it to the given state of charge
+// (experiment setup; see Battery.SetSoC).
+func (p *Pool) SetSoC(frac float64) {
+	for _, m := range p.members {
+		if s, ok := m.(interface{ SetSoC(float64) }); ok {
+			s.SetSoC(frac)
+		}
+	}
+}
+
+// Wear aggregates wear reports from battery members; non-battery members
+// are skipped. The second result is the number of batteries found.
+func (p *Pool) Wear() (WearReport, int) {
+	var sum WearReport
+	n := 0
+	for _, m := range p.members {
+		b, ok := m.(*Battery)
+		if !ok {
+			continue
+		}
+		r := b.Wear()
+		sum.ThroughputAh += r.ThroughputAh
+		sum.WeightedAh += r.WeightedAh
+		sum.RatedAh += r.RatedAh
+		sum.EquivalentFullCycles += r.EquivalentFullCycles
+		if r.PeakStressWeight > sum.PeakStressWeight {
+			sum.PeakStressWeight = r.PeakStressWeight
+		}
+		n++
+	}
+	if n > 0 {
+		sum.EquivalentFullCycles /= float64(n)
+		if sum.RatedAh > 0 {
+			sum.LifeFractionUsed = sum.WeightedAh / sum.RatedAh
+		}
+	}
+	return sum, n
+}

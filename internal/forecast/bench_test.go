@@ -1,0 +1,24 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+)
+
+func BenchmarkHoltWintersObservePredict(b *testing.B) {
+	hw := MustNewHoltWinters(DefaultHoltWintersConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hw.Observe(300 + 50*math.Sin(float64(i)/24))
+		hw.Predict()
+	}
+}
+
+func BenchmarkNaiveObservePredict(b *testing.B) {
+	n := NewNaive()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Observe(float64(i))
+		n.Predict()
+	}
+}

@@ -1,0 +1,204 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestNaive(t *testing.T) {
+	n := NewNaive()
+	if got := n.Predict(); got != 0 {
+		t.Errorf("empty naive predicts %g, want 0", got)
+	}
+	n.Observe(5)
+	n.Observe(7)
+	if got := n.Predict(); got != 7 {
+		t.Errorf("naive predicts %g, want 7", got)
+	}
+	n.Reset()
+	if got := n.Predict(); got != 0 {
+		t.Errorf("after reset predicts %g, want 0", got)
+	}
+	if n.Name() != "naive" {
+		t.Errorf("name %q", n.Name())
+	}
+}
+
+func TestHoltWintersConfigValidate(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*HoltWintersConfig)
+	}{
+		{"alpha zero", func(c *HoltWintersConfig) { c.Alpha = 0 }},
+		{"alpha one", func(c *HoltWintersConfig) { c.Alpha = 1 }},
+		{"beta zero", func(c *HoltWintersConfig) { c.Beta = 0 }},
+		{"gamma zero with season", func(c *HoltWintersConfig) { c.Gamma = 0 }},
+		{"negative season", func(c *HoltWintersConfig) { c.SeasonLength = -1 }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			cfg := DefaultHoltWintersConfig()
+			m.mut(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Errorf("Validate accepted %+v", cfg)
+			}
+		})
+	}
+	// Gamma is irrelevant without a season.
+	cfg := HoltWintersConfig{Alpha: 0.5, Beta: 0.1, Gamma: 0, SeasonLength: 0}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("seasonless config rejected: %v", err)
+	}
+}
+
+func TestHoltWintersConstantSeries(t *testing.T) {
+	hw := MustNewHoltWinters(HoltWintersConfig{Alpha: 0.5, Beta: 0.1, SeasonLength: 0})
+	for i := 0; i < 50; i++ {
+		hw.Observe(42)
+	}
+	if got := hw.Predict(); math.Abs(got-42) > 1e-6 {
+		t.Errorf("constant series predicts %g, want 42", got)
+	}
+}
+
+func TestHoltWintersLinearTrend(t *testing.T) {
+	hw := MustNewHoltWinters(HoltWintersConfig{Alpha: 0.5, Beta: 0.2, SeasonLength: 0})
+	for i := 0; i < 200; i++ {
+		hw.Observe(10 + 2*float64(i))
+	}
+	// Next value is 10 + 2·200 = 410.
+	if got := hw.Predict(); math.Abs(got-410) > 5 {
+		t.Errorf("linear trend predicts %g, want ≈410", got)
+	}
+}
+
+func TestHoltWintersPeriodicSeriesConverges(t *testing.T) {
+	// DESIGN.md invariant: on a perfectly periodic series the seasonal
+	// smoother converges to near-zero error.
+	const season = 12
+	hw := MustNewHoltWinters(HoltWintersConfig{
+		Alpha: 0.3, Beta: 0.05, Gamma: 0.4, SeasonLength: season,
+	})
+	wave := func(i int) float64 {
+		return 100 + 50*math.Sin(2*math.Pi*float64(i)/season)
+	}
+	var errs Errors
+	for i := 0; i < 40*season; i++ {
+		if i > 20*season { // measure after convergence
+			errs.Record(hw.Predict(), wave(i))
+		}
+		hw.Observe(wave(i))
+	}
+	if mae := errs.MAE(); mae > 2 {
+		t.Errorf("periodic series MAE %g, want < 2 (amplitude 50)", mae)
+	}
+}
+
+func TestHoltWintersBeatsNaiveOnSeasonal(t *testing.T) {
+	// The reason the paper picks Holt-Winters over last-value: seasonal
+	// structure. Compare MAEs on a noisy seasonal series.
+	const season = 24
+	rng := rand.New(rand.NewSource(11))
+	hw := MustNewHoltWinters(HoltWintersConfig{
+		Alpha: 0.3, Beta: 0.05, Gamma: 0.4, SeasonLength: season,
+	})
+	nv := NewNaive()
+	var hwErr, nvErr Errors
+	for i := 0; i < 60*season; i++ {
+		v := 100 + 60*math.Sin(2*math.Pi*float64(i)/season) + rng.NormFloat64()*5
+		if i > 10*season {
+			hwErr.Record(hw.Predict(), v)
+			nvErr.Record(nv.Predict(), v)
+		}
+		hw.Observe(v)
+		nv.Observe(v)
+	}
+	if hwErr.MAE() >= nvErr.MAE() {
+		t.Errorf("Holt-Winters MAE %g >= naive %g on seasonal series",
+			hwErr.MAE(), nvErr.MAE())
+	}
+}
+
+func TestHoltWintersWarmupPredictsLastValue(t *testing.T) {
+	hw := MustNewHoltWinters(HoltWintersConfig{
+		Alpha: 0.3, Beta: 0.05, Gamma: 0.4, SeasonLength: 10,
+	})
+	if got := hw.Predict(); got != 0 {
+		t.Errorf("empty predicts %g, want 0", got)
+	}
+	hw.Observe(3)
+	hw.Observe(8)
+	if got := hw.Predict(); got != 8 {
+		t.Errorf("warm-up predicts %g, want last value 8", got)
+	}
+}
+
+func TestHoltWintersReset(t *testing.T) {
+	hw := MustNewHoltWinters(DefaultHoltWintersConfig())
+	for i := 0; i < 300; i++ {
+		hw.Observe(float64(i))
+	}
+	hw.Reset()
+	if got := hw.Predict(); got != 0 {
+		t.Errorf("after reset predicts %g, want 0", got)
+	}
+}
+
+func TestHoltWintersName(t *testing.T) {
+	if MustNewHoltWinters(DefaultHoltWintersConfig()).Name() != "holt-winters" {
+		t.Error("wrong name")
+	}
+}
+
+func TestErrorsMetrics(t *testing.T) {
+	var e Errors
+	if e.MAE() != 0 || e.RMSE() != 0 || e.MAPE() != 0 || e.N() != 0 {
+		t.Error("empty Errors should be all zeros")
+	}
+	e.Record(10, 8) // err 2
+	e.Record(6, 10) // err -4
+	e.Record(5, 0)  // actual 0: excluded from MAPE
+	if e.N() != 3 {
+		t.Errorf("N = %d", e.N())
+	}
+	if got := e.MAE(); math.Abs(got-(2.0+4+5)/3) > 1e-12 {
+		t.Errorf("MAE = %g", got)
+	}
+	wantRMSE := math.Sqrt((4.0 + 16 + 25) / 3)
+	if got := e.RMSE(); math.Abs(got-wantRMSE) > 1e-12 {
+		t.Errorf("RMSE = %g, want %g", got, wantRMSE)
+	}
+	wantMAPE := (2.0/8 + 4.0/10) / 3
+	if got := e.MAPE(); math.Abs(got-wantMAPE) > 1e-12 {
+		t.Errorf("MAPE = %g, want %g", got, wantMAPE)
+	}
+}
+
+func TestHoltWintersTracksDailyPowerPattern(t *testing.T) {
+	// End-to-end sanity on a realistic shape: 10-minute slots, daily
+	// season, two days of warm-up then measure the third day.
+	cfg := DefaultHoltWintersConfig() // season 144 = one day of 10-min slots
+	hw := MustNewHoltWinters(cfg)
+	day := 24 * time.Hour
+	slot := 10 * time.Minute
+	slots := int(day / slot)
+	if slots != cfg.SeasonLength {
+		t.Fatalf("test expects season %d, got %d", slots, cfg.SeasonLength)
+	}
+	demand := func(i int) float64 {
+		tod := float64(i%slots) / float64(slots)
+		return 260 + 80*math.Sin(2*math.Pi*tod)
+	}
+	var errs Errors
+	for i := 0; i < 3*slots; i++ {
+		if i >= 2*slots {
+			errs.Record(hw.Predict(), demand(i))
+		}
+		hw.Observe(demand(i))
+	}
+	if mape := errs.MAPE(); mape > 0.05 {
+		t.Errorf("daily-pattern MAPE %.3f, want < 5%%", mape)
+	}
+}

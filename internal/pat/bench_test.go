@@ -1,0 +1,44 @@
+package pat
+
+import "testing"
+
+func seeded() *Table {
+	t := MustNew(DefaultConfig())
+	for sc := 0.05; sc < 1; sc += 0.1 {
+		for ba := 0.05; ba < 1; ba += 0.1 {
+			for pm := 10.0; pm < 200; pm += 20 {
+				t.Add(sc, ba, 10, 0.5)
+				_ = pm
+			}
+		}
+	}
+	return t
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	t := seeded()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(0.55, 0.45, 10)
+	}
+}
+
+func BenchmarkLookupSimilar(b *testing.B) {
+	t := seeded()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(0.55, 0.45, 399) // misses: falls back to Similar
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	t := seeded()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := DriftBatteryFast
+		if i%2 == 0 {
+			d = DriftSupercapFast
+		}
+		t.Update(0.55, 0.45, 10, 0.5, d)
+	}
+}

@@ -1,0 +1,313 @@
+package power
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"heb/internal/units"
+)
+
+// Source identifies what feeds a server through its two-way relay.
+type Source int
+
+// The relay positions. SourceOff models a shed server (the IPDU cut the
+// outlet because no source could carry it).
+const (
+	SourceUtility Source = iota
+	SourceBattery
+	SourceSupercap
+	SourceOff
+)
+
+// String names the source.
+func (s Source) String() string {
+	switch s {
+	case SourceUtility:
+		return "utility"
+	case SourceBattery:
+		return "battery"
+	case SourceSupercap:
+		return "supercap"
+	case SourceOff:
+		return "off"
+	default:
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
+}
+
+// Assignment maps server IDs to their relay position.
+type Assignment map[int]Source
+
+// Clone returns a deep copy.
+func (a Assignment) Clone() Assignment {
+	out := make(Assignment, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// Count returns how many servers sit on src.
+func (a Assignment) Count(src Source) int {
+	n := 0
+	for _, s := range a {
+		if s == src {
+			n++
+		}
+	}
+	return n
+}
+
+// Fabric is the two-way relay switch fabric plus the IPDU metering of the
+// prototype. It owns the servers, tracks per-server source assignment and
+// last-use times (for least-recently-used shedding, Section 7.2), and
+// produces per-source demand aggregates for the simulator. Individual
+// relays can be failed for fault-injection experiments: a stuck relay
+// keeps its last position and rejects switching.
+type Fabric struct {
+	servers []*Server
+	assign  Assignment
+	lastUse map[int]time.Duration
+	stuck   map[int]bool
+
+	meter Meter
+}
+
+// Meter is the IPDU's cumulative energy metering by source.
+type Meter struct {
+	Utility  units.Energy
+	Battery  units.Energy
+	Supercap units.Energy
+	// Unserved is demand that existed while a server was shed.
+	Unserved units.Energy
+	// DowntimeServerSeconds accumulates server-seconds spent shed.
+	DowntimeServerSeconds float64
+}
+
+// NewFabric wires the given servers, all initially on utility power.
+func NewFabric(servers []*Server) (*Fabric, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("power: fabric needs at least one server")
+	}
+	f := &Fabric{
+		servers: servers,
+		assign:  make(Assignment, len(servers)),
+		lastUse: make(map[int]time.Duration, len(servers)),
+		stuck:   make(map[int]bool),
+	}
+	seen := make(map[int]bool, len(servers))
+	for _, s := range servers {
+		if s == nil {
+			return nil, fmt.Errorf("power: nil server in fabric")
+		}
+		if seen[s.ID()] {
+			return nil, fmt.Errorf("power: duplicate server id %d", s.ID())
+		}
+		seen[s.ID()] = true
+		f.assign[s.ID()] = SourceUtility
+	}
+	return f, nil
+}
+
+// MustNewFabric is NewFabric for known-good server lists.
+func MustNewFabric(servers []*Server) *Fabric {
+	f, err := NewFabric(servers)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Servers returns the managed servers (shared, not copied).
+func (f *Fabric) Servers() []*Server { return f.servers }
+
+// NumServers returns the server count.
+func (f *Fabric) NumServers() int { return len(f.servers) }
+
+// Assignment returns a copy of the current relay state.
+func (f *Fabric) Assignment() Assignment { return f.assign.Clone() }
+
+// SourceOf returns the relay position of server id.
+func (f *Fabric) SourceOf(id int) Source { return f.assign[id] }
+
+// ErrRelayStuck reports an Assign against a failed relay.
+var ErrRelayStuck = fmt.Errorf("power: relay stuck")
+
+// FailRelay injects a stuck-relay fault: server id keeps its current
+// source and every further Assign for it fails with ErrRelayStuck.
+func (f *Fabric) FailRelay(id int) error {
+	if _, ok := f.assign[id]; !ok {
+		return fmt.Errorf("power: unknown server id %d", id)
+	}
+	f.stuck[id] = true
+	return nil
+}
+
+// RepairRelay clears a stuck-relay fault.
+func (f *Fabric) RepairRelay(id int) { delete(f.stuck, id) }
+
+// RelayStuck reports whether server id's relay is failed.
+func (f *Fabric) RelayStuck(id int) bool { return f.stuck[id] }
+
+// Assign flips the relay of server id to src. Assigning SourceOff powers
+// the server down; assigning anything else powers it up. A stuck relay
+// rejects the switch with ErrRelayStuck.
+func (f *Fabric) Assign(id int, src Source) error {
+	if _, ok := f.assign[id]; !ok {
+		return fmt.Errorf("power: unknown server id %d", id)
+	}
+	if f.stuck[id] && f.assign[id] != src {
+		return fmt.Errorf("%w: server %d held on %v", ErrRelayStuck, id, f.assign[id])
+	}
+	f.assign[id] = src
+	srv := f.serverByID(id)
+	if src == SourceOff {
+		srv.PowerOff()
+	} else {
+		srv.PowerOn()
+	}
+	return nil
+}
+
+// AssignAll flips every relay to src.
+func (f *Fabric) AssignAll(src Source) {
+	for _, s := range f.servers {
+		// Assign cannot fail for known ids.
+		_ = f.Assign(s.ID(), src)
+	}
+}
+
+// AssignSplit implements the paper's R_λ allocation: servers needing
+// storage are split so that a fraction ratio of them lands on the
+// super-capacitor pool and the rest on batteries. The ids slice lists the
+// servers that must move to storage (the overload set); ratio is clamped
+// to [0,1]. Servers are ordered by descending demand so the SC pool
+// receives the largest transient draws first, matching the design intent
+// of shielding batteries from high current.
+func (f *Fabric) AssignSplit(ids []int, ratio float64) {
+	ratio = units.Clamp(ratio, 0, 1)
+	ordered := append([]int(nil), ids...)
+	sort.Slice(ordered, func(i, j int) bool {
+		di := f.serverByID(ordered[i]).Demand()
+		dj := f.serverByID(ordered[j]).Demand()
+		if di != dj {
+			return di > dj
+		}
+		return ordered[i] < ordered[j]
+	})
+	nSC := int(float64(len(ordered))*ratio + 0.5)
+	for i, id := range ordered {
+		if i < nSC {
+			_ = f.Assign(id, SourceSupercap)
+		} else {
+			_ = f.Assign(id, SourceBattery)
+		}
+	}
+}
+
+// DemandBySource aggregates instantaneous demand per relay position.
+func (f *Fabric) DemandBySource() map[Source]units.Power {
+	out := map[Source]units.Power{}
+	for _, s := range f.servers {
+		src := f.assign[s.ID()]
+		if src == SourceOff {
+			continue
+		}
+		out[src] += s.Demand()
+	}
+	return out
+}
+
+// TotalDemand is the aggregate draw of all powered servers.
+func (f *Fabric) TotalDemand() units.Power {
+	var p units.Power
+	for _, s := range f.servers {
+		if f.assign[s.ID()] != SourceOff {
+			p += s.Demand()
+		}
+	}
+	return p
+}
+
+// OfflineServers returns the ids currently shed, sorted ascending.
+func (f *Fabric) OfflineServers() []int {
+	var ids []int
+	for id, src := range f.assign {
+		if src == SourceOff {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Touch records that server id did useful work at simulation time now;
+// the LRU shedding order uses these stamps.
+func (f *Fabric) Touch(id int, now time.Duration) {
+	f.lastUse[id] = now
+}
+
+// LRUOrder returns all server ids sorted least-recently-used first —
+// the order in which the controller sheds servers when the buffers run
+// dry ("We chose the least recently used servers to shut down", §7.2).
+func (f *Fabric) LRUOrder() []int {
+	ids := make([]int, 0, len(f.servers))
+	for _, s := range f.servers {
+		ids = append(ids, s.ID())
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		ti, tj := f.lastUse[ids[i]], f.lastUse[ids[j]]
+		if ti != tj {
+			return ti < tj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// MeterStep records dt worth of energy flows at the present assignment
+// and demand. served maps each storage source to the power actually
+// delivered (after depletion); the difference between a server's demand
+// and its delivered share counts as unserved energy.
+func (f *Fabric) MeterStep(dt time.Duration, served map[Source]units.Power) {
+	demand := f.DemandBySource()
+	f.meter.Utility += demand[SourceUtility].Over(dt)
+
+	for _, src := range []Source{SourceBattery, SourceSupercap} {
+		want := demand[src]
+		got := served[src]
+		if got > want {
+			got = want
+		}
+		switch src {
+		case SourceBattery:
+			f.meter.Battery += got.Over(dt)
+		case SourceSupercap:
+			f.meter.Supercap += got.Over(dt)
+		}
+		if want > got {
+			f.meter.Unserved += (want - got).Over(dt)
+		}
+	}
+	for _, s := range f.servers {
+		if f.assign[s.ID()] == SourceOff {
+			f.meter.DowntimeServerSeconds += dt.Seconds()
+		}
+	}
+}
+
+// Meter returns the cumulative IPDU meter readings.
+func (f *Fabric) Meter() Meter { return f.meter }
+
+// ResetMeter clears the meter.
+func (f *Fabric) ResetMeter() { f.meter = Meter{} }
+
+func (f *Fabric) serverByID(id int) *Server {
+	for _, s := range f.servers {
+		if s.ID() == id {
+			return s
+		}
+	}
+	return nil
+}

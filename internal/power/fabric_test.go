@@ -1,0 +1,238 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"heb/internal/units"
+)
+
+func testServers(t *testing.T, n int) []*Server {
+	t.Helper()
+	servers := make([]*Server, n)
+	for i := range servers {
+		servers[i] = MustNewServer(i, DefaultServerConfig())
+	}
+	return servers
+}
+
+func TestNewFabricValidation(t *testing.T) {
+	if _, err := NewFabric(nil); err == nil {
+		t.Error("NewFabric accepted zero servers")
+	}
+	if _, err := NewFabric([]*Server{nil}); err == nil {
+		t.Error("NewFabric accepted a nil server")
+	}
+	dup := []*Server{
+		MustNewServer(3, DefaultServerConfig()),
+		MustNewServer(3, DefaultServerConfig()),
+	}
+	if _, err := NewFabric(dup); err == nil {
+		t.Error("NewFabric accepted duplicate server ids")
+	}
+}
+
+func TestFabricInitialAssignment(t *testing.T) {
+	f := MustNewFabric(testServers(t, 6))
+	for id := 0; id < 6; id++ {
+		if src := f.SourceOf(id); src != SourceUtility {
+			t.Errorf("server %d starts on %v, want utility", id, src)
+		}
+	}
+	if n := f.Assignment().Count(SourceUtility); n != 6 {
+		t.Errorf("utility count %d, want 6", n)
+	}
+}
+
+func TestFabricAssign(t *testing.T) {
+	f := MustNewFabric(testServers(t, 3))
+	if err := f.Assign(1, SourceSupercap); err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	if src := f.SourceOf(1); src != SourceSupercap {
+		t.Errorf("server 1 on %v, want supercap", src)
+	}
+	if err := f.Assign(99, SourceBattery); err == nil {
+		t.Error("Assign accepted unknown server id")
+	}
+}
+
+func TestFabricAssignOffPowersDown(t *testing.T) {
+	servers := testServers(t, 2)
+	f := MustNewFabric(servers)
+	servers[0].SetUtilization(1)
+	if err := f.Assign(0, SourceOff); err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	if servers[0].On() {
+		t.Error("server still on after SourceOff assignment")
+	}
+	if got := f.TotalDemand(); got != servers[1].Demand() {
+		t.Errorf("TotalDemand %v includes shed server", got)
+	}
+	// Re-assigning to a live source powers it back up and counts a cycle.
+	if err := f.Assign(0, SourceUtility); err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	if !servers[0].On() || servers[0].PowerCycles() != 1 {
+		t.Errorf("server not restarted properly: on=%v cycles=%d",
+			servers[0].On(), servers[0].PowerCycles())
+	}
+}
+
+func TestFabricAssignSplitRatio(t *testing.T) {
+	f := MustNewFabric(testServers(t, 6))
+	ids := []int{0, 1, 2, 3}
+	f.AssignSplit(ids, 0.5)
+	a := f.Assignment()
+	if got := a.Count(SourceSupercap); got != 2 {
+		t.Errorf("SC count %d, want 2 at ratio 0.5", got)
+	}
+	if got := a.Count(SourceBattery); got != 2 {
+		t.Errorf("battery count %d, want 2", got)
+	}
+	if got := a.Count(SourceUtility); got != 2 {
+		t.Errorf("utility count %d, want 2 untouched", got)
+	}
+}
+
+func TestFabricAssignSplitExtremes(t *testing.T) {
+	f := MustNewFabric(testServers(t, 4))
+	ids := []int{0, 1, 2, 3}
+	f.AssignSplit(ids, 1)
+	if got := f.Assignment().Count(SourceSupercap); got != 4 {
+		t.Errorf("ratio 1: SC count %d, want 4", got)
+	}
+	f.AssignSplit(ids, 0)
+	if got := f.Assignment().Count(SourceBattery); got != 4 {
+		t.Errorf("ratio 0: battery count %d, want 4", got)
+	}
+	// Out-of-range ratios clamp.
+	f.AssignSplit(ids, 7)
+	if got := f.Assignment().Count(SourceSupercap); got != 4 {
+		t.Errorf("ratio 7 (clamped): SC count %d, want 4", got)
+	}
+}
+
+func TestFabricAssignSplitPutsBigLoadsOnSC(t *testing.T) {
+	servers := testServers(t, 4)
+	servers[0].SetUtilization(0.1)
+	servers[1].SetUtilization(0.9) // the hungriest
+	servers[2].SetUtilization(0.2)
+	servers[3].SetUtilization(0.5)
+	f := MustNewFabric(servers)
+	f.AssignSplit([]int{0, 1, 2, 3}, 0.25) // one server on SC
+	if src := f.SourceOf(1); src != SourceSupercap {
+		t.Errorf("hungriest server on %v, want supercap", src)
+	}
+}
+
+func TestFabricDemandBySource(t *testing.T) {
+	servers := testServers(t, 3)
+	for _, s := range servers {
+		s.SetUtilization(1) // 70 W each
+	}
+	f := MustNewFabric(servers)
+	_ = f.Assign(0, SourceBattery)
+	_ = f.Assign(1, SourceSupercap)
+	d := f.DemandBySource()
+	if d[SourceBattery] != 70 || d[SourceSupercap] != 70 || d[SourceUtility] != 70 {
+		t.Errorf("demand split wrong: %v", d)
+	}
+	if got := f.TotalDemand(); got != 210 {
+		t.Errorf("TotalDemand %v, want 210", got)
+	}
+}
+
+func TestFabricLRUOrder(t *testing.T) {
+	f := MustNewFabric(testServers(t, 3))
+	f.Touch(0, 30*time.Second)
+	f.Touch(1, 10*time.Second)
+	f.Touch(2, 20*time.Second)
+	order := f.LRUOrder()
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("LRU order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFabricLRUOrderTieBreaksByID(t *testing.T) {
+	f := MustNewFabric(testServers(t, 3))
+	order := f.LRUOrder() // nobody touched: all stamps zero
+	want := []int{0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("LRU order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFabricMeterStep(t *testing.T) {
+	servers := testServers(t, 3)
+	for _, s := range servers {
+		s.SetUtilization(1)
+	}
+	f := MustNewFabric(servers)
+	_ = f.Assign(0, SourceBattery)
+	_ = f.Assign(1, SourceSupercap)
+	_ = f.Assign(2, SourceOff)
+	served := map[Source]units.Power{
+		SourceBattery:  70,
+		SourceSupercap: 50, // SC pool fell short by 20 W
+	}
+	f.MeterStep(time.Second, served)
+	m := f.Meter()
+	if math.Abs(float64(m.Battery-70)) > 1e-9 {
+		t.Errorf("battery meter %v, want 70J", m.Battery)
+	}
+	if math.Abs(float64(m.Supercap-50)) > 1e-9 {
+		t.Errorf("supercap meter %v, want 50J", m.Supercap)
+	}
+	if math.Abs(float64(m.Unserved-20)) > 1e-9 {
+		t.Errorf("unserved %v, want 20J", m.Unserved)
+	}
+	if m.DowntimeServerSeconds != 1 {
+		t.Errorf("downtime %g server-seconds, want 1", m.DowntimeServerSeconds)
+	}
+	f.ResetMeter()
+	if f.Meter() != (Meter{}) {
+		t.Error("ResetMeter did not clear")
+	}
+}
+
+func TestFabricOfflineServers(t *testing.T) {
+	f := MustNewFabric(testServers(t, 4))
+	_ = f.Assign(2, SourceOff)
+	_ = f.Assign(0, SourceOff)
+	got := f.OfflineServers()
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("OfflineServers = %v, want [0 2]", got)
+	}
+}
+
+func TestAssignmentClone(t *testing.T) {
+	f := MustNewFabric(testServers(t, 2))
+	a := f.Assignment()
+	a[0] = SourceOff
+	if f.SourceOf(0) == SourceOff {
+		t.Error("Assignment() exposed internal state")
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	names := map[Source]string{
+		SourceUtility:  "utility",
+		SourceBattery:  "battery",
+		SourceSupercap: "supercap",
+		SourceOff:      "off",
+		Source(42):     "Source(42)",
+	}
+	for src, want := range names {
+		if got := src.String(); got != want {
+			t.Errorf("Source(%d).String() = %q, want %q", int(src), got, want)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package power models the electrical side of the HEB prototype: servers
+// with DVFS, the intelligent power distribution unit (IPDU), the two-way
+// relay fabric that assigns each server to utility, battery pool or
+// super-capacitor pool, and the AC/DC conversion stages whose losses
+// distinguish the cluster-level from the rack-level deployment (paper
+// Section 4).
+package power
+
+import (
+	"fmt"
+
+	"heb/internal/units"
+)
+
+// FreqLevel is a DVFS operating point of a server.
+type FreqLevel int
+
+// The prototype's two governor set-points (Section 6): the low group runs
+// at 1.3 GHz, the high group at 1.8 GHz.
+const (
+	FreqLow  FreqLevel = iota // 1.3 GHz
+	FreqHigh                  // 1.8 GHz
+)
+
+// GHz returns the clock frequency of the level.
+func (f FreqLevel) GHz() float64 {
+	if f == FreqLow {
+		return 1.3
+	}
+	return 1.8
+}
+
+// String names the level.
+func (f FreqLevel) String() string {
+	if f == FreqLow {
+		return "low(1.3GHz)"
+	}
+	return "high(1.8GHz)"
+}
+
+// ServerConfig parameterizes a compute node. Defaults match the paper's
+// prototype: Intel i7-2720QM nodes with 30 W idle and 70 W peak.
+type ServerConfig struct {
+	// IdlePower is the draw at zero utilization at the high frequency.
+	IdlePower units.Power
+	// PeakPower is the draw at full utilization at the high frequency.
+	PeakPower units.Power
+	// LowFreqScale scales the dynamic (utilization-dependent) power at
+	// FreqLow relative to FreqHigh; dynamic power goes roughly with
+	// f·V² so the 1.3/1.8 GHz pair lands near 0.55.
+	LowFreqScale float64
+	// BootEnergy is wasted whenever the server power cycles (the paper's
+	// Figure 3 observes on/off waste eating about half the battery
+	// recovery gain).
+	BootEnergy units.Energy
+}
+
+// DefaultServerConfig returns the prototype node.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		IdlePower:    30,
+		PeakPower:    70,
+		LowFreqScale: 0.55,
+		BootEnergy:   units.WattHours(1.5),
+	}
+}
+
+// Validate reports the first invalid field.
+func (c ServerConfig) Validate() error {
+	switch {
+	case c.IdlePower <= 0:
+		return fmt.Errorf("power: idle power %v must be positive", c.IdlePower)
+	case c.PeakPower <= c.IdlePower:
+		return fmt.Errorf("power: peak power %v must exceed idle %v", c.PeakPower, c.IdlePower)
+	case c.LowFreqScale <= 0 || c.LowFreqScale > 1:
+		return fmt.Errorf("power: low-frequency scale %g must be in (0,1]", c.LowFreqScale)
+	case c.BootEnergy < 0:
+		return fmt.Errorf("power: boot energy %v must be non-negative", c.BootEnergy)
+	}
+	return nil
+}
+
+// Server is a compute node with a utilization-linear power model:
+// P = idle + util·(peak-idle)·freqScale when on, 0 when off.
+type Server struct {
+	cfg  ServerConfig
+	id   int
+	on   bool
+	util float64
+	freq FreqLevel
+
+	cycles     int
+	wastedBoot units.Energy
+}
+
+// NewServer builds a powered-on, idle server with the given id.
+func NewServer(id int, cfg ServerConfig) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg, id: id, on: true, freq: FreqHigh}, nil
+}
+
+// MustNewServer is NewServer for known-good configs.
+func MustNewServer(id int, cfg ServerConfig) *Server {
+	s, err := NewServer(id, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ID returns the server's identifier (its IPDU outlet number).
+func (s *Server) ID() int { return s.id }
+
+// Config returns the server's configuration.
+func (s *Server) Config() ServerConfig { return s.cfg }
+
+// On reports whether the server is powered.
+func (s *Server) On() bool { return s.on }
+
+// Freq returns the DVFS level.
+func (s *Server) Freq() FreqLevel { return s.freq }
+
+// SetFreq selects the DVFS level.
+func (s *Server) SetFreq(f FreqLevel) { s.freq = f }
+
+// Utilization returns the current CPU utilization in [0,1].
+func (s *Server) Utilization() float64 { return s.util }
+
+// SetUtilization drives the load; values are clamped to [0,1].
+func (s *Server) SetUtilization(u float64) {
+	s.util = units.Clamp(u, 0, 1)
+}
+
+// PowerOn starts the server, charging the boot-energy waste on a
+// transition from off to on.
+func (s *Server) PowerOn() {
+	if !s.on {
+		s.on = true
+		s.cycles++
+		s.wastedBoot += s.cfg.BootEnergy
+	}
+}
+
+// PowerOff stops the server.
+func (s *Server) PowerOff() {
+	if s.on {
+		s.on = false
+	}
+}
+
+// Demand returns the instantaneous power draw.
+func (s *Server) Demand() units.Power {
+	if !s.on {
+		return 0
+	}
+	dyn := float64(s.cfg.PeakPower-s.cfg.IdlePower) * s.util
+	if s.freq == FreqLow {
+		dyn *= s.cfg.LowFreqScale
+	}
+	return s.cfg.IdlePower + units.Power(dyn)
+}
+
+// PeakDemand returns the largest possible draw at the current frequency.
+func (s *Server) PeakDemand() units.Power {
+	dyn := float64(s.cfg.PeakPower - s.cfg.IdlePower)
+	if s.freq == FreqLow {
+		dyn *= s.cfg.LowFreqScale
+	}
+	return s.cfg.IdlePower + units.Power(dyn)
+}
+
+// PowerCycles returns how many off→on transitions occurred.
+func (s *Server) PowerCycles() int { return s.cycles }
+
+// BootWaste returns the cumulative energy wasted on power cycles.
+func (s *Server) BootWaste() units.Energy { return s.wastedBoot }

@@ -1,0 +1,133 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"heb/internal/units"
+)
+
+func TestServerConfigValidate(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*ServerConfig)
+	}{
+		{"zero idle", func(c *ServerConfig) { c.IdlePower = 0 }},
+		{"peak below idle", func(c *ServerConfig) { c.PeakPower = 10 }},
+		{"scale zero", func(c *ServerConfig) { c.LowFreqScale = 0 }},
+		{"scale above one", func(c *ServerConfig) { c.LowFreqScale = 1.2 }},
+		{"negative boot", func(c *ServerConfig) { c.BootEnergy = -1 }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			cfg := DefaultServerConfig()
+			m.mut(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Errorf("Validate() accepted %+v", cfg)
+			}
+			if _, err := NewServer(0, cfg); err == nil {
+				t.Error("NewServer accepted invalid config")
+			}
+		})
+	}
+}
+
+func TestServerPowerModel(t *testing.T) {
+	s := MustNewServer(1, DefaultServerConfig())
+	tests := []struct {
+		util float64
+		freq FreqLevel
+		want units.Power
+	}{
+		{0, FreqHigh, 30},
+		{1, FreqHigh, 70},
+		{0.5, FreqHigh, 50},
+		{0, FreqLow, 30},
+		{1, FreqLow, 30 + 40*0.55},
+	}
+	for _, tt := range tests {
+		s.SetFreq(tt.freq)
+		s.SetUtilization(tt.util)
+		if got := s.Demand(); math.Abs(float64(got-tt.want)) > 1e-9 {
+			t.Errorf("Demand(util=%g, %v) = %v, want %v", tt.util, tt.freq, got, tt.want)
+		}
+	}
+}
+
+func TestServerUtilizationClamped(t *testing.T) {
+	s := MustNewServer(1, DefaultServerConfig())
+	s.SetUtilization(2)
+	if s.Utilization() != 1 {
+		t.Errorf("utilization %g, want clamped to 1", s.Utilization())
+	}
+	s.SetUtilization(-1)
+	if s.Utilization() != 0 {
+		t.Errorf("utilization %g, want clamped to 0", s.Utilization())
+	}
+}
+
+func TestServerOffDrawsNothing(t *testing.T) {
+	s := MustNewServer(1, DefaultServerConfig())
+	s.SetUtilization(1)
+	s.PowerOff()
+	if got := s.Demand(); got != 0 {
+		t.Errorf("off server draws %v", got)
+	}
+}
+
+func TestServerPowerCycleAccounting(t *testing.T) {
+	s := MustNewServer(1, DefaultServerConfig())
+	s.PowerOn() // already on: no cycle
+	if s.PowerCycles() != 0 {
+		t.Errorf("PowerOn on running server counted a cycle")
+	}
+	s.PowerOff()
+	s.PowerOff() // double off: still one state
+	s.PowerOn()
+	if s.PowerCycles() != 1 {
+		t.Errorf("cycles = %d, want 1", s.PowerCycles())
+	}
+	if s.BootWaste() != DefaultServerConfig().BootEnergy {
+		t.Errorf("boot waste %v, want %v", s.BootWaste(), DefaultServerConfig().BootEnergy)
+	}
+}
+
+func TestServerPeakDemand(t *testing.T) {
+	s := MustNewServer(1, DefaultServerConfig())
+	if got := s.PeakDemand(); got != 70 {
+		t.Errorf("high-freq peak %v, want 70W", got)
+	}
+	s.SetFreq(FreqLow)
+	want := units.Power(30 + 40*0.55)
+	if got := s.PeakDemand(); math.Abs(float64(got-want)) > 1e-9 {
+		t.Errorf("low-freq peak %v, want %v", got, want)
+	}
+}
+
+func TestServerDemandMonotonicInUtilization(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		s := MustNewServer(1, DefaultServerConfig())
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		s.SetUtilization(lo)
+		d1 := s.Demand()
+		s.SetUtilization(hi)
+		d2 := s.Demand()
+		return d2 >= d1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFreqLevelStringsAndGHz(t *testing.T) {
+	if FreqLow.GHz() != 1.3 || FreqHigh.GHz() != 1.8 {
+		t.Errorf("GHz mapping wrong: %g / %g", FreqLow.GHz(), FreqHigh.GHz())
+	}
+	if FreqLow.String() == FreqHigh.String() {
+		t.Error("freq level strings collide")
+	}
+}

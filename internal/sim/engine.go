@@ -1,0 +1,934 @@
+// Package sim is the discrete-time simulation engine that stands in for
+// the paper's hardware prototype (Figure 11): it steps servers, the relay
+// fabric, the energy buffer pools and a power feed at one-second
+// resolution, runs the hControl controller at ten-minute slots, and
+// produces the metrics the evaluation reports — energy efficiency, server
+// downtime, battery lifetime and renewable energy utilization.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"heb/internal/core"
+	"heb/internal/esd"
+	"heb/internal/power"
+	"heb/internal/trace"
+	"heb/internal/units"
+)
+
+// ChargePriority selects which pool absorbs surplus power first.
+type ChargePriority int
+
+const (
+	// ChargeSupercapFirst fills SCs first (HEB and SCFirst behaviour:
+	// SCs can absorb unlimited current, so they catch deep valleys).
+	ChargeSupercapFirst ChargePriority = iota
+	// ChargeBatteryFirst fills batteries first (BaFirst behaviour).
+	ChargeBatteryFirst
+	// ChargeBatteryOnly has no SC pool to fill (BaOnly behaviour).
+	ChargeBatteryOnly
+)
+
+// String names the priority.
+func (c ChargePriority) String() string {
+	switch c {
+	case ChargeSupercapFirst:
+		return "supercap-first"
+	case ChargeBatteryFirst:
+		return "battery-first"
+	case ChargeBatteryOnly:
+		return "battery-only"
+	default:
+		return fmt.Sprintf("ChargePriority(%d)", int(c))
+	}
+}
+
+// Config assembles one simulation run.
+type Config struct {
+	// Step is the engine resolution (prototype IPDU reports every
+	// second; default 1s).
+	Step time.Duration
+	// Slot is the control interval (paper default 10 minutes).
+	Slot time.Duration
+	// Duration is the simulated time span; zero defaults to the
+	// workload trace duration.
+	Duration time.Duration
+
+	// Servers are the compute nodes.
+	Servers []*power.Server
+	// Workload drives per-server utilization; its width must match the
+	// server count.
+	Workload *trace.Trace
+
+	// Battery is the battery pool; required.
+	Battery esd.Device
+	// Supercap is the SC pool; nil for battery-only systems.
+	Supercap esd.Device
+
+	// Feed supplies power: a budgeted utility feed or a solar trace.
+	Feed power.Feed
+	// Renewable marks the feed as intermittent generation, enabling
+	// REU accounting and surplus-spill tracking.
+	Renewable bool
+
+	// Controller is the hControl instance (scheme + predictors).
+	Controller *core.Controller
+
+	// Topology selects the deployment architecture; it determines the
+	// conversion stage on the storage discharge path (Section 4.2).
+	Topology power.Topology
+
+	// ChargePriority orders surplus absorption.
+	ChargePriority ChargePriority
+
+	// ActivityThreshold is the utilization above which a server counts
+	// as recently used for LRU shedding.
+	ActivityThreshold float64
+
+	// Observer, when set, receives a StepInfo after every engine tick —
+	// the hook the telemetry monitor (prototype item 5, "system
+	// real-time running state monitoring") attaches to.
+	Observer func(StepInfo)
+
+	// DVFSCapping enables the performance-scaling baseline the paper
+	// contrasts energy buffering against: on a mismatch the whole
+	// cluster is stepped down to the low DVFS point before any buffer
+	// dispatch, and stepped back up once demand fits again. The forced
+	// low-frequency time is reported as DegradedServerSeconds — the
+	// performance penalty energy buffers exist to avoid.
+	DVFSCapping bool
+}
+
+// StepInfo is the per-tick state snapshot passed to Config.Observer.
+type StepInfo struct {
+	// Now is the simulation time of the completed tick.
+	Now time.Duration
+	// Demand and Supply are total server draw and feed availability.
+	Demand, Supply units.Power
+	// BatterySoC and SupercapSoC are pool states of charge (Supercap
+	// is zero for battery-only systems).
+	BatterySoC, SupercapSoC float64
+	// OnUtility, OnBattery, OnSupercap and Off count servers per relay
+	// position.
+	OnUtility, OnBattery, OnSupercap, Off int
+	// Mismatch reports whether demand exceeded supply this tick.
+	Mismatch bool
+}
+
+// Validate reports the first invalid field and applies no defaults.
+func (c Config) Validate() error {
+	switch {
+	case c.Step <= 0:
+		return fmt.Errorf("sim: step %v must be positive", c.Step)
+	case c.Slot < c.Step:
+		return fmt.Errorf("sim: slot %v must be >= step %v", c.Slot, c.Step)
+	case len(c.Servers) == 0:
+		return fmt.Errorf("sim: no servers")
+	case c.Workload == nil:
+		return fmt.Errorf("sim: no workload")
+	case c.Workload.Servers() != len(c.Servers):
+		return fmt.Errorf("sim: workload width %d != server count %d",
+			c.Workload.Servers(), len(c.Servers))
+	case c.Battery == nil:
+		return fmt.Errorf("sim: no battery pool")
+	case c.Feed == nil:
+		return fmt.Errorf("sim: no power feed")
+	case c.Controller == nil:
+		return fmt.Errorf("sim: no controller")
+	case c.ActivityThreshold < 0 || c.ActivityThreshold > 1:
+		return fmt.Errorf("sim: activity threshold %g outside [0,1]", c.ActivityThreshold)
+	}
+	return nil
+}
+
+// withDefaults fills zero values with the paper's defaults.
+func (c Config) withDefaults() Config {
+	if c.Step == 0 {
+		c.Step = time.Second
+	}
+	if c.Slot == 0 {
+		c.Slot = 10 * time.Minute
+	}
+	if c.Duration == 0 && c.Workload != nil {
+		c.Duration = c.Workload.Duration()
+	}
+	if c.ActivityThreshold == 0 {
+		c.ActivityThreshold = 0.05
+	}
+	return c
+}
+
+// Engine executes one configured run.
+type Engine struct {
+	cfg    Config
+	fabric *power.Fabric
+
+	dischargeConv *power.Converter
+	utilityConv   *power.Converter
+
+	// Slot state.
+	decision      core.Decision
+	view          core.SlotView
+	slotPeak      units.Power
+	slotValley    units.Power
+	slotHasSample bool
+
+	// Restart hysteresis: servers shed recently stay off briefly so the
+	// engine does not thrash between shedding and restarting.
+	lastShed time.Duration
+	hasShed  bool
+
+	// DVFS capping state: the frequency each server ran at before the
+	// governor forced it down, and the accumulated degraded time.
+	cappedFrom   map[int]power.FreqLevel
+	degradedSecs float64
+
+	// Accounting.
+	servedSC, servedBA   units.Energy // delivered to servers per pool
+	renewGen, renewUsed  units.Energy
+	renewStored          units.Energy
+	renewSpilled         units.Energy
+	utilityDrawn         units.Energy
+	utilityPeak          units.Power
+	initialStored        units.Energy
+	demandSeries         []float64
+	slotPeaks            []float64
+	slotValleys          []float64
+	shedEvents           int
+	mismatchSteps, steps int
+}
+
+// New builds an engine; defaults are applied before validation.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fabric, err := power.NewFabric(cfg.Servers)
+	if err != nil {
+		return nil, err
+	}
+	var peak units.Power
+	for _, s := range cfg.Servers {
+		peak += s.PeakDemand()
+	}
+	e := &Engine{
+		cfg:           cfg,
+		fabric:        fabric,
+		dischargeConv: cfg.Topology.DischargeConverter(peak),
+		utilityConv:   cfg.Topology.UtilityConverter(peak),
+	}
+	return e, nil
+}
+
+// MustNew is New for known-good configs.
+func MustNew(cfg Config) *Engine {
+	e, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Fabric exposes the relay fabric (for tests and telemetry).
+func (e *Engine) Fabric() *power.Fabric { return e.fabric }
+
+// Run executes the full simulation and returns its metrics.
+func (e *Engine) Run() Result {
+	cfg := e.cfg
+	e.initialStored = e.storedTotal()
+	steps := int(cfg.Duration / cfg.Step)
+	slotSteps := int(cfg.Slot / cfg.Step)
+	if slotSteps < 1 {
+		slotSteps = 1
+	}
+
+	e.planSlot()
+	for i := 0; i < steps; i++ {
+		now := time.Duration(i) * cfg.Step
+		if i > 0 && i%slotSteps == 0 {
+			e.finishSlot()
+			e.planSlot()
+		}
+		e.step(now)
+	}
+	e.finishSlot()
+	return e.result()
+}
+
+// planSlot queries the controller for the coming slot's decision.
+func (e *Engine) planSlot() {
+	scAvail, scCap := e.supercapEnergy()
+	baAvail := e.cfg.Battery.Stored()
+	baCap := e.cfg.Battery.Capacity()
+	e.view, e.decision = e.cfg.Controller.PlanSlot(scAvail, scCap, baAvail, baCap)
+	e.slotPeak, e.slotValley, e.slotHasSample = 0, 0, false
+}
+
+// finishSlot reports the slot's observations back to the controller.
+func (e *Engine) finishSlot() {
+	if !e.slotHasSample {
+		return
+	}
+	scAvail, scCap := e.supercapEnergy()
+	r := core.SlotResult{
+		ActualPeak:   e.slotPeak,
+		ActualValley: e.slotValley,
+		ActualPM:     maxPower(0, e.slotPeak-e.slotValley),
+		ActualOver:   maxPower(0, e.slotPeak-e.view.Budget),
+		SCFracEnd:    fracEnergy(scAvail, scCap),
+		BAFracEnd:    fracEnergy(e.cfg.Battery.Stored(), e.cfg.Battery.Capacity()),
+		RatioUsed:    e.decision.Ratio,
+	}
+	e.cfg.Controller.FinishSlot(r)
+	e.slotPeaks = append(e.slotPeaks, float64(e.slotPeak))
+	e.slotValleys = append(e.slotValleys, float64(e.slotValley))
+}
+
+func (e *Engine) supercapEnergy() (avail, capacity units.Energy) {
+	if e.cfg.Supercap == nil {
+		return 0, 0
+	}
+	return e.cfg.Supercap.Stored(), e.cfg.Supercap.Capacity()
+}
+
+func (e *Engine) storedTotal() units.Energy {
+	t := e.cfg.Battery.Stored()
+	if e.cfg.Supercap != nil {
+		t += e.cfg.Supercap.Stored()
+	}
+	return t
+}
+
+// step advances one engine tick.
+func (e *Engine) step(now time.Duration) {
+	cfg := e.cfg
+	dt := cfg.Step
+	e.steps++
+
+	// Drive utilization from the workload and stamp LRU activity.
+	row := cfg.Workload.At(now)
+	for i, s := range cfg.Servers {
+		s.SetUtilization(row[i])
+		if row[i] > cfg.ActivityThreshold {
+			e.fabric.Touch(s.ID(), now)
+		}
+	}
+
+	supply := cfg.Feed.Available(now)
+	e.maybeRestart(now, supply)
+
+	demand := e.fabric.TotalDemand()
+	e.observeDemand(demand)
+
+	// Effective utility power deliverable to servers after the utility-
+	// path conversion stage.
+	effSupply := e.utilityConv.OutputFor(supply)
+
+	if cfg.DVFSCapping {
+		demand = e.applyCapping(demand, effSupply, dt)
+	}
+
+	if demand <= effSupply {
+		e.stepSurplus(now, demand, supply, effSupply, dt)
+	} else {
+		e.stepMismatch(now, demand, supply, effSupply, dt)
+	}
+	if cfg.Observer != nil {
+		cfg.Observer(e.snapshot(now, demand, supply, demand > effSupply))
+	}
+}
+
+// snapshot assembles the observer's per-tick view.
+func (e *Engine) snapshot(now time.Duration, demand, supply units.Power, mismatch bool) StepInfo {
+	info := StepInfo{
+		Now:        now,
+		Demand:     demand,
+		Supply:     supply,
+		BatterySoC: e.cfg.Battery.SoC(),
+		Mismatch:   mismatch,
+	}
+	if e.cfg.Supercap != nil {
+		info.SupercapSoC = e.cfg.Supercap.SoC()
+	}
+	for _, s := range e.cfg.Servers {
+		switch e.fabric.SourceOf(s.ID()) {
+		case power.SourceUtility:
+			info.OnUtility++
+		case power.SourceBattery:
+			info.OnBattery++
+		case power.SourceSupercap:
+			info.OnSupercap++
+		case power.SourceOff:
+			info.Off++
+		}
+	}
+	return info
+}
+
+// applyCapping runs the cluster DVFS governor: step every server down
+// when demand exceeds supply, step back up when full-speed demand would
+// fit with 5% margin. It returns the (possibly reduced) demand and
+// charges the degraded-time meter.
+func (e *Engine) applyCapping(demand, effSupply units.Power, dt time.Duration) units.Power {
+	if e.cappedFrom == nil {
+		e.cappedFrom = make(map[int]power.FreqLevel)
+	}
+	if demand > effSupply {
+		for _, s := range e.cfg.Servers {
+			if s.Freq() != power.FreqLow {
+				e.cappedFrom[s.ID()] = s.Freq()
+				s.SetFreq(power.FreqLow)
+			}
+		}
+	} else if len(e.cappedFrom) > 0 {
+		// Would full speed fit again? Estimate analytically.
+		var fullSpeed units.Power
+		for _, s := range e.cfg.Servers {
+			if e.fabric.SourceOf(s.ID()) == power.SourceOff {
+				continue
+			}
+			cfg := s.Config()
+			fullSpeed += cfg.IdlePower +
+				units.Power(float64(cfg.PeakPower-cfg.IdlePower)*s.Utilization())
+		}
+		if fullSpeed <= effSupply*95/100 {
+			for _, s := range e.cfg.Servers {
+				if prev, ok := e.cappedFrom[s.ID()]; ok {
+					s.SetFreq(prev)
+					delete(e.cappedFrom, s.ID())
+				}
+			}
+		}
+	}
+	for _, s := range e.cfg.Servers {
+		if _, ok := e.cappedFrom[s.ID()]; ok && e.fabric.SourceOf(s.ID()) != power.SourceOff {
+			e.degradedSecs += dt.Seconds()
+		}
+	}
+	return e.fabric.TotalDemand()
+}
+
+// stepSurplus handles demand below supply: everyone on utility, surplus
+// charges the buffers.
+func (e *Engine) stepSurplus(now time.Duration, demand, supply, effSupply units.Power, dt time.Duration) {
+	cfg := e.cfg
+	for _, s := range cfg.Servers {
+		if e.fabric.SourceOf(s.ID()) != power.SourceOff && e.fabric.SourceOf(s.ID()) != power.SourceUtility {
+			_ = e.fabric.Assign(s.ID(), power.SourceUtility)
+		}
+	}
+	inputForDemand := e.utilityConv.InputFor(demand)
+	e.utilityConv.AddLoss((inputForDemand - demand).Over(dt))
+
+	surplus := supply - inputForDemand
+	if surplus < 0 {
+		surplus = 0
+	}
+	absorbed := e.charge(surplus, dt)
+
+	drawn := inputForDemand
+	if cfg.Renewable {
+		e.renewGen += supply.Over(dt)
+		e.renewUsed += inputForDemand.Over(dt)
+		e.renewStored += absorbed.Over(dt)
+		e.renewSpilled += (surplus - absorbed).Over(dt)
+		drawn += absorbed
+	} else {
+		drawn += absorbed
+	}
+	if f, ok := cfg.Feed.(*power.UtilityFeed); ok {
+		f.RecordDraw(drawn, dt)
+	}
+	e.utilityDrawn += drawn.Over(dt)
+	if drawn > e.utilityPeak {
+		e.utilityPeak = drawn
+	}
+	e.fabric.MeterStep(dt, nil)
+}
+
+// charge distributes surplus watts into the pools per the priority and
+// returns the power actually absorbed.
+func (e *Engine) charge(surplus units.Power, dt time.Duration) units.Power {
+	if surplus <= 0 {
+		e.cfg.Battery.Rest(dt)
+		if e.cfg.Supercap != nil {
+			e.cfg.Supercap.Rest(dt)
+		}
+		return 0
+	}
+	var absorbed units.Power
+	chargeSC := func(p units.Power) units.Power {
+		if e.cfg.Supercap == nil || p <= 0 {
+			if e.cfg.Supercap != nil {
+				e.cfg.Supercap.Rest(dt)
+			}
+			return 0
+		}
+		return e.cfg.Supercap.Charge(p, dt)
+	}
+	chargeBA := func(p units.Power) units.Power {
+		if p <= 0 {
+			e.cfg.Battery.Rest(dt)
+			return 0
+		}
+		return e.cfg.Battery.Charge(p, dt)
+	}
+	switch e.cfg.ChargePriority {
+	case ChargeBatteryFirst:
+		got := chargeBA(surplus)
+		absorbed = got + chargeSC(surplus-got)
+	case ChargeBatteryOnly:
+		absorbed = chargeBA(surplus)
+		if e.cfg.Supercap != nil {
+			e.cfg.Supercap.Rest(dt)
+		}
+	default: // ChargeSupercapFirst
+		got := chargeSC(surplus)
+		absorbed = got + chargeBA(surplus-got)
+	}
+	return absorbed
+}
+
+// stepMismatch handles demand above supply: move overloaded servers onto
+// the buffers per the slot decision, discharge, fall back, shed.
+func (e *Engine) stepMismatch(now time.Duration, demand, supply, effSupply units.Power, dt time.Duration) {
+	cfg := e.cfg
+	e.mismatchSteps++
+
+	// Select which servers stay on utility: fill the budget greedily in
+	// LRU-most-recent order so hot servers keep grid power and the
+	// overload set is stable.
+	overload := e.selectOverload(effSupply)
+	e.applyDecision(overload)
+
+	perSource := e.fabric.DemandBySource()
+	utilityLoad := perSource[power.SourceUtility]
+
+	needBA := perSource[power.SourceBattery]
+	needSC := perSource[power.SourceSupercap]
+
+	servedBA, servedSC := e.discharge(needBA, needSC, dt)
+
+	// Cross-pool takeover within the step: when one pool falls short,
+	// the relays flip the starved servers to the other pool immediately
+	// (mode permitting), so a depleting SC hands its load to batteries
+	// mid-peak instead of shedding. The second Discharge call advances
+	// the helper pool's internal clock a second time for this step — a
+	// negligible distortion of well-recovery, paid only on takeover
+	// steps.
+	shortBA := needBA - servedBA
+	shortSC := needSC - servedSC
+	if shortSC > 0.5 && e.decision.Mode != core.ModeBatteryOnly {
+		extra := e.cfg.Battery.Discharge(e.dischargeConv.InputFor(shortSC), dt)
+		out := e.dischargeConv.OutputFor(extra)
+		e.dischargeConv.AddLoss((extra - out).Over(dt))
+		servedSC += out
+		shortSC -= out
+	}
+	if shortBA > 0.5 && e.cfg.Supercap != nil {
+		extra := e.cfg.Supercap.Discharge(e.dischargeConv.InputFor(shortBA), dt)
+		out := e.dischargeConv.OutputFor(extra)
+		e.dischargeConv.AddLoss((extra - out).Over(dt))
+		servedBA += out
+		shortBA -= out
+	}
+	// Shed servers whose demand nobody can carry: LRU first.
+	if shortBA > 0.5 || shortSC > 0.5 {
+		e.shed(shortBA, shortSC)
+		e.lastShed = now
+		e.hasShed = true
+	}
+
+	e.servedBA += servedBA.Over(dt)
+	e.servedSC += servedSC.Over(dt)
+
+	drawnInput := e.utilityConv.InputFor(utilityLoad)
+	if drawnInput > supply {
+		drawnInput = supply
+	}
+	e.utilityConv.AddLoss((drawnInput - utilityLoad).Over(dt))
+	if f, ok := cfg.Feed.(*power.UtilityFeed); ok {
+		f.RecordDraw(drawnInput, dt)
+	}
+	e.utilityDrawn += drawnInput.Over(dt)
+	if drawnInput > e.utilityPeak {
+		e.utilityPeak = drawnInput
+	}
+	if cfg.Renewable {
+		e.renewGen += supply.Over(dt)
+		e.renewUsed += drawnInput.Over(dt)
+		e.renewSpilled += (supply - drawnInput).Over(dt)
+	}
+
+	e.fabric.MeterStep(dt, map[power.Source]units.Power{
+		power.SourceBattery:  servedBA,
+		power.SourceSupercap: servedSC,
+	})
+}
+
+// selectOverload returns the server ids that must leave utility power so
+// the remainder fits under effSupply. Most-recently-used servers keep
+// utility power; the overload set is returned most-demanding first.
+func (e *Engine) selectOverload(effSupply units.Power) []int {
+	order := e.fabric.LRUOrder() // least-recent first
+	// Walk from most-recent (end) filling the budget.
+	var keep units.Power
+	keepSet := make(map[int]bool, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		if e.fabric.SourceOf(id) == power.SourceOff {
+			continue
+		}
+		d := e.serverDemand(id)
+		if keep+d <= effSupply {
+			keep += d
+			keepSet[id] = true
+		}
+	}
+	var overload []int
+	for _, id := range order {
+		if e.fabric.SourceOf(id) == power.SourceOff || keepSet[id] {
+			continue
+		}
+		overload = append(overload, id)
+	}
+	// Put the kept servers on utility.
+	for id := range keepSet {
+		if e.fabric.SourceOf(id) != power.SourceUtility {
+			_ = e.fabric.Assign(id, power.SourceUtility)
+		}
+	}
+	return overload
+}
+
+func (e *Engine) serverDemand(id int) units.Power {
+	for _, s := range e.cfg.Servers {
+		if s.ID() == id {
+			return s.Demand()
+		}
+	}
+	return 0
+}
+
+// applyDecision routes the overload set to the pools per the slot
+// decision. Assignment is capability-aware: a pool is only asked to carry
+// servers it can actually power right now, and the remainder takes over
+// on the other pool through the relays — the paper's "whenever one energy
+// storage device is depleted, the other will take over ... immediately
+// via power switches", generalized to partial takeover.
+func (e *Engine) applyDecision(overload []int) {
+	if len(overload) == 0 {
+		return
+	}
+	// Deliverable power per pool, with a small margin for the gap
+	// between the instantaneous estimate and a full step.
+	capBA := e.cfg.Battery.MaxDischargePower() * 95 / 100
+	var capSC units.Power
+	if e.cfg.Supercap != nil {
+		capSC = e.cfg.Supercap.MaxDischargePower() * 95 / 100
+	}
+	// Largest demands first, so big draws land where capacity exists.
+	ordered := append([]int(nil), overload...)
+	sort.Slice(ordered, func(i, j int) bool {
+		di, dj := e.serverDemand(ordered[i]), e.serverDemand(ordered[j])
+		if di != dj {
+			return di > dj
+		}
+		return ordered[i] < ordered[j]
+	})
+	assignUpTo := func(ids []int, first, second power.Source, capFirst, capSecond units.Power) {
+		for _, id := range ids {
+			d := e.serverDemand(id)
+			switch {
+			case d <= capFirst:
+				_ = e.fabric.Assign(id, first)
+				capFirst -= d
+			case d <= capSecond:
+				_ = e.fabric.Assign(id, second)
+				capSecond -= d
+			default:
+				// Neither pool can carry it: leave it on the first
+				// choice; the shortfall/shed path decides its fate.
+				_ = e.fabric.Assign(id, first)
+				capFirst -= d
+			}
+		}
+	}
+	switch e.decision.Mode {
+	case core.ModeBatteryOnly:
+		// No SC pool to fall back to: everything goes to batteries.
+		for _, id := range ordered {
+			_ = e.fabric.Assign(id, power.SourceBattery)
+		}
+	case core.ModeBatteryFirst:
+		assignUpTo(ordered, power.SourceBattery, power.SourceSupercap, capBA, capSC)
+	case core.ModeSupercapFirst:
+		assignUpTo(ordered, power.SourceSupercap, power.SourceBattery, capSC, capBA)
+	case core.ModeSplit:
+		// R_λ of the servers to SC, the rest to batteries, then spill
+		// whatever exceeds a pool's capability to the other pool.
+		ratio := units.Clamp(e.decision.Ratio, 0, 1)
+		nSC := int(float64(len(ordered))*ratio + 0.5)
+		scSet := ordered[:nSC]
+		baSet := ordered[nSC:]
+		assignUpTo(scSet, power.SourceSupercap, power.SourceBattery, capSC, capBA)
+		// Track what the SC spill already consumed of the battery cap.
+		var used units.Power
+		for _, id := range scSet {
+			if e.fabric.SourceOf(id) == power.SourceBattery {
+				used += e.serverDemand(id)
+			}
+		}
+		remBA := capBA - used
+		if remBA < 0 {
+			remBA = 0
+		}
+		var usedSC units.Power
+		for _, id := range scSet {
+			if e.fabric.SourceOf(id) == power.SourceSupercap {
+				usedSC += e.serverDemand(id)
+			}
+		}
+		remSC := capSC - usedSC
+		if remSC < 0 {
+			remSC = 0
+		}
+		assignUpTo(baSet, power.SourceBattery, power.SourceSupercap, remBA, remSC)
+	}
+}
+
+// discharge asks the pools for the servers' demand through the topology's
+// conversion stage and returns the power delivered to servers per pool.
+func (e *Engine) discharge(needBA, needSC units.Power, dt time.Duration) (servedBA, servedSC units.Power) {
+	conv := e.dischargeConv
+	askBA := conv.InputFor(needBA)
+	gotBA := units.Power(0)
+	if askBA > 0 {
+		gotBA = e.cfg.Battery.Discharge(askBA, dt)
+	} else {
+		e.cfg.Battery.Rest(dt)
+	}
+	servedBA = conv.OutputFor(gotBA)
+	conv.AddLoss((gotBA - servedBA).Over(dt))
+
+	if e.cfg.Supercap != nil {
+		askSC := conv.InputFor(needSC)
+		gotSC := units.Power(0)
+		if askSC > 0 {
+			gotSC = e.cfg.Supercap.Discharge(askSC, dt)
+		} else {
+			e.cfg.Supercap.Rest(dt)
+		}
+		servedSC = conv.OutputFor(gotSC)
+		conv.AddLoss((gotSC - servedSC).Over(dt))
+	}
+	return servedBA, servedSC
+}
+
+// shed powers off least-recently-used servers on the starved pools until
+// the uncovered shortfall is gone.
+func (e *Engine) shed(shortBA, shortSC units.Power) {
+	for _, id := range e.fabric.LRUOrder() {
+		if shortBA <= 0.5 && shortSC <= 0.5 {
+			return
+		}
+		switch e.fabric.SourceOf(id) {
+		case power.SourceBattery:
+			if shortBA > 0.5 {
+				d := e.serverDemand(id)
+				_ = e.fabric.Assign(id, power.SourceOff)
+				shortBA -= d
+				e.shedEvents++
+			}
+		case power.SourceSupercap:
+			if shortSC > 0.5 {
+				d := e.serverDemand(id)
+				_ = e.fabric.Assign(id, power.SourceOff)
+				shortSC -= d
+				e.shedEvents++
+			}
+		}
+	}
+}
+
+// restartHoldoff is how long a shed server stays down before the engine
+// considers restarting it — hysteresis against shed/restart thrash.
+const restartHoldoff = 60 * time.Second
+
+// maybeRestart brings one shed server back when the cluster has headroom
+// for its draw — from the grid, or from the buffers through the relays
+// (the controller reconnects shed servers to whichever source can carry
+// them).
+func (e *Engine) maybeRestart(now time.Duration, supply units.Power) {
+	off := e.fabric.OfflineServers()
+	if len(off) == 0 {
+		return
+	}
+	if e.hasShed && now-e.lastShed < restartHoldoff {
+		return
+	}
+	effSupply := e.utilityConv.OutputFor(supply)
+	demand := e.fabric.TotalDemand()
+	id := off[0]
+	var idle units.Power
+	for _, s := range e.cfg.Servers {
+		if s.ID() == id {
+			idle = s.Config().IdlePower
+			break
+		}
+	}
+	// Storage can back the restart too, at a conservative discount on
+	// its instantaneous capability.
+	storage := e.cfg.Battery.MaxDischargePower()
+	if e.cfg.Supercap != nil {
+		storage += e.cfg.Supercap.MaxDischargePower()
+	}
+	headroom := effSupply*95/100 + storage*70/100
+	if demand+idle <= headroom {
+		_ = e.fabric.Assign(id, power.SourceUtility)
+	}
+}
+
+// observeDemand tracks the slot's peak and valley of total demand.
+func (e *Engine) observeDemand(d units.Power) {
+	e.demandSeries = append(e.demandSeries, float64(d))
+	if !e.slotHasSample {
+		e.slotPeak, e.slotValley = d, d
+		e.slotHasSample = true
+		return
+	}
+	if d > e.slotPeak {
+		e.slotPeak = d
+	}
+	if d < e.slotValley {
+		e.slotValley = d
+	}
+}
+
+func maxPower(a, b units.Power) units.Power {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fracEnergy(avail, capacity units.Energy) float64 {
+	if capacity <= 0 {
+		return 0
+	}
+	return units.Clamp(float64(avail)/float64(capacity), 0, 1)
+}
+
+// DemandSeries returns the recorded total-demand series (one value per
+// step) for post-hoc analysis like MPPU.
+func (e *Engine) DemandSeries() []float64 {
+	return e.demandSeries
+}
+
+func (e *Engine) result() Result {
+	cfg := e.cfg
+	meter := e.fabric.Meter()
+
+	baStats := cfg.Battery.Stats()
+	var scStats esd.Stats
+	if cfg.Supercap != nil {
+		scStats = cfg.Supercap.Stats()
+	}
+	// Energy efficiency: useful output is what the buffers delivered to
+	// servers plus any net growth of the store (usable later); input is
+	// what sources pushed in plus any net depletion of the initial
+	// store. Both directions of the net-store delta appear on exactly
+	// one side, so banked-but-unused energy is neither free nor wasted.
+	finalStored := e.storedTotal()
+	charged := float64(baStats.EnergyIn + scStats.EnergyIn)
+	depleted := float64(e.initialStored - finalStored)
+	delivered := float64(e.servedBA + e.servedSC)
+	useful := delivered + math.Max(0, -depleted)
+	denom := charged + math.Max(0, depleted)
+	ee := 0.0
+	if denom > 0 {
+		ee = units.Clamp(useful/denom, 0, 1)
+	}
+
+	var bootWaste units.Energy
+	var cycles int
+	for _, s := range cfg.Servers {
+		bootWaste += s.BootWaste()
+		cycles += s.PowerCycles()
+	}
+
+	res := Result{
+		Scheme:                cfg.Controller.Scheme().Name(),
+		Duration:              cfg.Duration,
+		Steps:                 e.steps,
+		EnergyEfficiency:      ee,
+		ServedFromBattery:     e.servedBA,
+		ServedFromSupercap:    e.servedSC,
+		ChargedIntoBuffers:    units.Energy(charged),
+		BufferLosses:          baStats.Loss + scStats.Loss,
+		ConversionLoss:        e.dischargeConv.Loss() + e.utilityConv.Loss(),
+		DowntimeServerSeconds: meter.DowntimeServerSeconds,
+		UnservedEnergy:        meter.Unserved,
+		ShedEvents:            e.shedEvents,
+		PowerCycles:           cycles,
+		BootWaste:             bootWaste,
+		UtilityEnergy:         e.utilityDrawn,
+		UtilityPeak:           e.utilityPeak,
+		MismatchSteps:         e.mismatchSteps,
+		SlotCount:             cfg.Controller.SlotCount(),
+		DegradedServerSeconds: e.degradedSecs,
+	}
+	if e.steps > 0 {
+		res.DowntimeFraction = meter.DowntimeServerSeconds /
+			(float64(e.steps) * cfg.Step.Seconds() * float64(len(cfg.Servers)))
+	}
+
+	// Battery wear and projected lifetime.
+	if wearer, ok := cfg.Battery.(interface{ Wear() (esd.WearReport, int) }); ok {
+		report, n := wearer.Wear()
+		if n > 0 {
+			res.BatteryWear = report
+			res.BatteryLifetimeYears = report.EstimateYears(lifeConfig(cfg.Battery), cfg.Duration)
+		}
+	} else if b, ok := cfg.Battery.(*esd.Battery); ok {
+		res.BatteryWear = b.Wear()
+		res.BatteryLifetimeYears = res.BatteryWear.EstimateYears(b.Config().Life, cfg.Duration)
+	}
+
+	if cfg.Renewable {
+		res.RenewableGenerated = e.renewGen
+		res.RenewableUsed = e.renewUsed
+		res.RenewableStored = e.renewStored
+		res.RenewableSpilled = e.renewSpilled
+		if e.renewGen > 0 {
+			res.REU = units.Clamp(float64(e.renewUsed+e.renewStored)/float64(e.renewGen), 0, 1)
+		}
+	}
+
+	peakErr, valleyErr := cfg.Controller.PredictionErrors()
+	res.PeakPredictionMAPE = peakErr.MAPE()
+	res.ValleyPredictionMAPE = valleyErr.MAPE()
+	res.SlotPeaks = append([]float64(nil), e.slotPeaks...)
+	res.SlotValleys = append([]float64(nil), e.slotValleys...)
+	return res
+}
+
+// lifeConfig extracts a lifetime config from a pool's first battery
+// member, defaulting when none is found.
+func lifeConfig(d esd.Device) esd.LifetimeConfig {
+	if p, ok := d.(*esd.Pool); ok {
+		for _, m := range p.Members() {
+			if b, ok := m.(*esd.Battery); ok {
+				return b.Config().Life
+			}
+		}
+	}
+	if b, ok := d.(*esd.Battery); ok {
+		return b.Config().Life
+	}
+	return esd.DefaultLifetimeConfig()
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"heb/internal/esd"
+	"heb/internal/units"
+)
+
+// Result carries the metrics of one simulation run — the quantities
+// Figures 12-14 report per scheme.
+type Result struct {
+	// Scheme is the power-management scheme name (Table 2).
+	Scheme string
+	// Duration is the simulated span; Steps the executed tick count.
+	Duration time.Duration
+	Steps    int
+
+	// EnergyEfficiency is delivered-to-servers energy divided by the
+	// energy the buffers consumed (charging input plus net depletion of
+	// the initial store) — the paper's EE metric.
+	EnergyEfficiency float64
+
+	// ServedFromBattery and ServedFromSupercap are the energies each
+	// pool delivered to servers (after conversion).
+	ServedFromBattery, ServedFromSupercap units.Energy
+	// ChargedIntoBuffers is source energy pushed into the pools.
+	ChargedIntoBuffers units.Energy
+	// BufferLosses is energy dissipated inside the pools.
+	BufferLosses units.Energy
+	// ConversionLoss is energy dissipated in the topology's converters.
+	ConversionLoss units.Energy
+
+	// DowntimeServerSeconds is the paper's SD metric: aggregated time
+	// servers were shed because the buffers could not shave the peak.
+	DowntimeServerSeconds float64
+	// DowntimeFraction normalizes SD by total server-time.
+	DowntimeFraction float64
+	// UnservedEnergy is demand that existed while servers were starved.
+	UnservedEnergy units.Energy
+	// ShedEvents counts forced power-offs; PowerCycles counts restarts.
+	ShedEvents  int
+	PowerCycles int
+	// BootWaste is energy burned by server on/off cycles (Figure 3's
+	// "energy waste due to server on/off cycles").
+	BootWaste units.Energy
+
+	// BatteryWear and BatteryLifetimeYears come from the weighted
+	// Ah-throughput model (Figure 12(c)).
+	BatteryWear          esd.WearReport
+	BatteryLifetimeYears float64
+
+	// Renewable accounting (Figure 12(d)); populated when the run's
+	// feed is renewable.
+	RenewableGenerated, RenewableUsed units.Energy
+	RenewableStored, RenewableSpilled units.Energy
+	REU                               float64
+
+	// UtilityEnergy and UtilityPeak meter the grid connection.
+	UtilityEnergy units.Energy
+	UtilityPeak   units.Power
+
+	// MismatchSteps counts ticks where demand exceeded supply.
+	MismatchSteps int
+	// DegradedServerSeconds is forced-low-frequency time under the DVFS
+	// power-capping baseline — the performance penalty energy buffers
+	// avoid (zero when capping is off).
+	DegradedServerSeconds float64
+	// SlotCount is the number of control slots executed.
+	SlotCount int
+
+	// PeakPredictionMAPE and ValleyPredictionMAPE report forecast
+	// accuracy for the scheme's predictor.
+	PeakPredictionMAPE, ValleyPredictionMAPE float64
+
+	// SlotPeaks and SlotValleys are the measured per-slot demand
+	// extremes, in watts — the ground-truth series for prediction
+	// ablations (feeding them to a forecast.Oracle bounds what perfect
+	// prediction could achieve).
+	SlotPeaks, SlotValleys []float64
+}
+
+// ServedTotal is the total energy the buffers delivered to servers.
+func (r Result) ServedTotal() units.Energy {
+	return r.ServedFromBattery + r.ServedFromSupercap
+}
+
+// String renders a compact single-run report.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s over %v: EE=%.3f downtime=%.0fs (%.2f%%)",
+		r.Scheme, r.Duration, r.EnergyEfficiency,
+		r.DowntimeServerSeconds, r.DowntimeFraction*100)
+	fmt.Fprintf(&b, " served(BA=%v SC=%v)", r.ServedFromBattery, r.ServedFromSupercap)
+	if r.BatteryLifetimeYears > 0 {
+		fmt.Fprintf(&b, " battLife=%.1fy", r.BatteryLifetimeYears)
+	}
+	if r.RenewableGenerated > 0 {
+		fmt.Fprintf(&b, " REU=%.3f", r.REU)
+	}
+	return b.String()
+}
+
+// MPPU computes the paper's maximum provisioning power utilization for a
+// demand series (watts per step) against a provisioned budget: the
+// fraction of time demand reaches (or exceeds) the budget. Over-
+// provisioned infrastructure scores near zero; aggressive
+// under-provisioning scores high (Figure 1(a)).
+func MPPU(demand []float64, budget units.Power) float64 {
+	if len(demand) == 0 || budget <= 0 {
+		return 0
+	}
+	hit := 0
+	for _, d := range demand {
+		if d >= float64(budget) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(demand))
+}

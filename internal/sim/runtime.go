@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"heb/internal/esd"
+	"heb/internal/units"
+)
+
+// SplitRuntime reproduces the paper's Figure 6 experiment: numSC servers
+// draw from the super-capacitor pool and numBA servers from the battery
+// pool, every server at constant perServer watts. When one pool can no
+// longer carry its share, the other takes over the entire load through
+// the power switches; the run ends when the combined buffers cannot fully
+// power the cluster. It returns the sustained runtime.
+func SplitRuntime(battery, supercap esd.Device, numSC, numBA int, perServer units.Power, step time.Duration, maxRun time.Duration) (time.Duration, error) {
+	if battery == nil || supercap == nil {
+		return 0, fmt.Errorf("sim: split runtime needs both pools")
+	}
+	if numSC < 0 || numBA < 0 || numSC+numBA == 0 {
+		return 0, fmt.Errorf("sim: invalid split %d:%d", numSC, numBA)
+	}
+	if perServer <= 0 || step <= 0 || maxRun <= 0 {
+		return 0, fmt.Errorf("sim: invalid load %v / step %v / max %v", perServer, step, maxRun)
+	}
+	loadSC := units.Power(float64(perServer) * float64(numSC))
+	loadBA := units.Power(float64(perServer) * float64(numBA))
+	total := loadSC + loadBA
+
+	const tolerance = 0.995
+	var elapsed time.Duration
+	for elapsed < maxRun {
+		gotSC := supercap.Discharge(loadSC, step)
+		gotBA := battery.Discharge(loadBA, step)
+		served := gotSC + gotBA
+		if served < total*tolerance {
+			// Takeover: offer the shortfall to the other pool within
+			// the same step by re-asking for the residual next step;
+			// here we model the relay flip by retargeting the loads.
+			shortfall := total - served
+			switch {
+			case gotSC < loadSC*tolerance && loadBA+shortfall > 0:
+				// SC pool failed its share: batteries take the rest.
+				loadSC, loadBA = 0, total
+			case gotBA < loadBA*tolerance:
+				loadSC, loadBA = total, 0
+			}
+			// Probe whether the takeover target can actually carry
+			// the whole cluster; if not, the run is over.
+			if probe(battery, loadBA)+probe(supercap, loadSC) < float64(total)*tolerance {
+				return elapsed, nil
+			}
+			continue // retry the step with flipped relays
+		}
+		elapsed += step
+	}
+	return elapsed, nil
+}
+
+// probe estimates what the device could deliver without mutating it.
+func probe(d esd.Device, want units.Power) float64 {
+	if want <= 0 {
+		return 0
+	}
+	can := float64(d.MaxDischargePower())
+	if can > float64(want) {
+		return float64(want)
+	}
+	return can
+}
+
+// SplitSweep runs SplitRuntime across every integer split of numServers
+// and returns the runtimes indexed by the SC-server count (index 0 =
+// all servers on batteries). Devices are built fresh per split via the
+// factories so each split starts from full charge.
+func SplitSweep(newBattery, newSupercap func() esd.Device, numServers int, perServer units.Power, step, maxRun time.Duration) ([]time.Duration, error) {
+	if numServers <= 0 {
+		return nil, fmt.Errorf("sim: sweep needs servers")
+	}
+	out := make([]time.Duration, numServers+1)
+	for sc := 0; sc <= numServers; sc++ {
+		rt, err := SplitRuntime(newBattery(), newSupercap(), sc, numServers-sc, perServer, step, maxRun)
+		if err != nil {
+			return nil, err
+		}
+		out[sc] = rt
+	}
+	return out, nil
+}
+
+// DischargeCurve records the terminal voltage of a device discharging at
+// constant power until depleted (Figure 5), sampled every step. A device
+// that cannot sustain the full load browns out and keeps draining at what
+// it can deliver — exactly the transient-voltage-drop behaviour Figure 5
+// shows for batteries under large demands — until output collapses.
+func DischargeCurve(d esd.Device, load units.Power, step, maxRun time.Duration) []units.Voltage {
+	var curve []units.Voltage
+	var elapsed time.Duration
+	terminal := func() units.Voltage {
+		if tv, ok := d.(interface {
+			TerminalVoltage(units.Power) units.Voltage
+		}); ok {
+			return tv.TerminalVoltage(load)
+		}
+		return d.Voltage()
+	}
+	for elapsed < maxRun {
+		got := d.Discharge(load, step)
+		curve = append(curve, terminal())
+		if got < load/10 {
+			break
+		}
+		elapsed += step
+	}
+	return curve
+}
+
+// ProvisioningPoint is one row of the Figure 1(a) analysis.
+type ProvisioningPoint struct {
+	// Level is the provisioning fraction of nameplate peak (1.0 = P1).
+	Level float64
+	// Budget is the corresponding provisioned power.
+	Budget units.Power
+	// MPPU is the utilization of the provisioned budget.
+	MPPU float64
+	// CapitalCost is the infrastructure cost at dollarPerWatt.
+	CapitalCost float64
+	// MismatchFraction is the share of time demand exceeds the budget.
+	MismatchFraction float64
+}
+
+// ProvisioningAnalysis evaluates MPPU and capital cost for the given
+// provisioning levels over a normalized demand series scaled to
+// nameplate watts (Figure 1(a): P1..P4 at 100/80/60/40%).
+func ProvisioningAnalysis(normDemand []float64, nameplate units.Power, levels []float64, dollarPerWatt float64) []ProvisioningPoint {
+	out := make([]ProvisioningPoint, 0, len(levels))
+	demandW := make([]float64, len(normDemand))
+	for i, v := range normDemand {
+		demandW[i] = v * float64(nameplate)
+	}
+	for _, lv := range levels {
+		budget := units.Power(lv * float64(nameplate))
+		over := 0
+		for _, d := range demandW {
+			if d > float64(budget) {
+				over++
+			}
+		}
+		p := ProvisioningPoint{
+			Level:       lv,
+			Budget:      budget,
+			MPPU:        MPPU(demandW, budget),
+			CapitalCost: float64(budget) * dollarPerWatt,
+		}
+		if len(demandW) > 0 {
+			p.MismatchFraction = float64(over) / float64(len(demandW))
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// EfficiencyCharacterization reproduces the Figure 3 experiment on a
+// device: discharge at the given load until the device cannot sustain it
+// (one-shot), optionally rest and repeat to measure recovery, and report
+// one-shot efficiency, recovered fraction, and the on/off cycle waste.
+type EfficiencyCharacterization struct {
+	// OneShot is delivered/consumed for the first continuous discharge.
+	OneShot float64
+	// WithRecovery is the same ratio after rest-and-drain cycles.
+	WithRecovery float64
+	// RecoveredEnergy is the extra energy the rests unlocked.
+	RecoveredEnergy units.Energy
+	// OnOffWaste is the boot energy burned by the power cycles needed
+	// to exploit the recovery.
+	OnOffWaste units.Energy
+}
+
+// CharacterizeEfficiency measures a freshly reset device. load is the
+// constant demand; rests is how many rest-and-drain rounds to run;
+// bootEnergy is the per-cycle server restart cost.
+func CharacterizeEfficiency(d esd.Device, load units.Power, rests int, rest time.Duration, bootEnergy units.Energy) EfficiencyCharacterization {
+	d.Reset()
+	step := time.Second
+	drain := func() units.Energy {
+		var total units.Energy
+		for i := 0; i < 24*3600; i++ {
+			got := d.Discharge(load, step)
+			// Keep draining at whatever the device can actually
+			// sustain — an overloaded battery browns out rather than
+			// delivering nothing, and its losses still count — but
+			// stop once the output is a trickle.
+			if got < load/10 {
+				break
+			}
+			total += got.Over(step)
+		}
+		return total
+	}
+	first := drain()
+	var recovered units.Energy
+	for i := 0; i < rests; i++ {
+		d.Rest(rest)
+		recovered += drain()
+	}
+	// Recharge fully to close the cycle and read the ledger.
+	for i := 0; i < 72*3600; i++ {
+		if d.Charge(load, step) <= 0 {
+			break
+		}
+	}
+	st := d.Stats()
+	var c EfficiencyCharacterization
+	if st.EnergyIn > 0 {
+		c.WithRecovery = float64(st.EnergyOut) / float64(st.EnergyIn)
+		if first+recovered > 0 {
+			c.OneShot = c.WithRecovery * float64(first) / float64(first+recovered)
+		}
+	}
+	c.RecoveredEnergy = recovered
+	c.OnOffWaste = units.Energy(float64(bootEnergy) * float64(rests))
+	return c
+}

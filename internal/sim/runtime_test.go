@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"heb/internal/esd"
+	"heb/internal/units"
+)
+
+func newTestBattery() esd.Device {
+	cfg := esd.DefaultBatteryConfig()
+	cfg.CapacityAh = 16 // a bit more headroom for sweep experiments
+	return esd.MustNewBattery(cfg)
+}
+
+func newTestSupercap() esd.Device {
+	cfg := esd.DefaultSupercapConfig()
+	cfg.Capacitance = 600
+	return esd.MustNewSupercap(cfg)
+}
+
+func TestSplitRuntimeValidation(t *testing.T) {
+	b, s := newTestBattery(), newTestSupercap()
+	if _, err := SplitRuntime(nil, s, 1, 1, 70, time.Second, time.Hour); err == nil {
+		t.Error("accepted nil battery")
+	}
+	if _, err := SplitRuntime(b, s, 0, 0, 70, time.Second, time.Hour); err == nil {
+		t.Error("accepted zero servers")
+	}
+	if _, err := SplitRuntime(b, s, -1, 2, 70, time.Second, time.Hour); err == nil {
+		t.Error("accepted negative split")
+	}
+	if _, err := SplitRuntime(b, s, 1, 1, 0, time.Second, time.Hour); err == nil {
+		t.Error("accepted zero load")
+	}
+}
+
+func TestSplitRuntimePositive(t *testing.T) {
+	rt, err := SplitRuntime(newTestBattery(), newTestSupercap(), 2, 4, 60, time.Second, 8*time.Hour)
+	if err != nil {
+		t.Fatalf("SplitRuntime: %v", err)
+	}
+	if rt <= time.Minute {
+		t.Errorf("runtime %v implausibly short", rt)
+	}
+	if rt >= 8*time.Hour {
+		t.Errorf("runtime hit the cap; buffers should deplete")
+	}
+}
+
+func TestSplitSweepHasInteriorOptimum(t *testing.T) {
+	// Figure 6: there is an optimal split; loading the SCs with most of
+	// the cluster shortens runtime versus the optimum.
+	runtimes, err := SplitSweep(newTestBattery, newTestSupercap, 6, 60, time.Second, 8*time.Hour)
+	if err != nil {
+		t.Fatalf("SplitSweep: %v", err)
+	}
+	if len(runtimes) != 7 {
+		t.Fatalf("sweep returned %d points, want 7", len(runtimes))
+	}
+	best, bestIdx := time.Duration(0), 0
+	for i, rt := range runtimes {
+		if rt > best {
+			best, bestIdx = rt, i
+		}
+	}
+	// All-SC (index 6) must be clearly worse than the optimum — the
+	// paper measures ~25% shorter uptime for SC-heavy assignment.
+	if runtimes[6] >= best {
+		t.Errorf("all-SC runtime %v >= optimum %v", runtimes[6], best)
+	}
+	if float64(runtimes[6]) > 0.9*float64(best) {
+		t.Errorf("SC-heavy penalty too small: %v vs best %v", runtimes[6], best)
+	}
+	t.Logf("sweep: %v (best at %d SC-servers)", runtimes, bestIdx)
+}
+
+func TestDischargeCurves(t *testing.T) {
+	// Figure 5: SC voltage declines linearly; battery sags non-linearly
+	// and collapses under heavy load.
+	sc := newTestSupercap()
+	curve := DischargeCurve(sc, 150, time.Second, time.Hour)
+	if len(curve) < 60 {
+		t.Fatalf("SC curve too short: %d points", len(curve))
+	}
+	// Linearity check on the middle of the SC curve.
+	third := len(curve) / 3
+	d1 := float64(curve[third] - curve[0])
+	d2 := float64(curve[2*third] - curve[third])
+	if d1 >= 0 {
+		t.Fatal("SC voltage did not decline")
+	}
+	if ratio := d2 / d1; ratio < 0.6 || ratio > 1.6 {
+		t.Errorf("SC decline not roughly linear: segment ratio %.2f", ratio)
+	}
+
+	ba := newTestBattery()
+	bcurve := DischargeCurve(ba, 250, time.Second, time.Hour)
+	if len(bcurve) < 10 {
+		t.Fatalf("battery curve too short: %d points", len(bcurve))
+	}
+	// Figure 5's battery signature: the loaded terminal voltage ends up
+	// far below where it started (collapse toward cutoff), a much bigger
+	// total drop than the SC's ESR droop relative to its window.
+	n := len(bcurve)
+	drop := float64(bcurve[0] - bcurve[n-1])
+	if drop < 2 {
+		t.Errorf("battery terminal voltage dropped only %.2fV under 250W", drop)
+	}
+	cutoff := 0.875 * 24.0
+	if float64(bcurve[n-1]) > cutoff+1.5 {
+		t.Errorf("battery end voltage %.2f not near cutoff %.2f", float64(bcurve[n-1]), cutoff)
+	}
+}
+
+func TestProvisioningAnalysis(t *testing.T) {
+	// Synthetic normalized demand: mostly ~0.55, occasionally 1.0.
+	demand := make([]float64, 1000)
+	for i := range demand {
+		demand[i] = 0.55
+		if i%100 == 0 {
+			demand[i] = 1.0
+		}
+	}
+	levels := []float64{1.0, 0.8, 0.6, 0.4}
+	pts := ProvisioningAnalysis(demand, 100*units.Kilowatt, levels, 15)
+	if len(pts) != 4 {
+		t.Fatalf("%d points, want 4", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].MPPU < pts[i-1].MPPU {
+			t.Errorf("MPPU not monotone: %v", pts)
+		}
+		if pts[i].CapitalCost >= pts[i-1].CapitalCost {
+			t.Errorf("capital cost should fall with provisioning level: %v", pts)
+		}
+	}
+	if pts[0].MismatchFraction != 0 {
+		t.Errorf("full provisioning has mismatches: %g", pts[0].MismatchFraction)
+	}
+	if pts[3].MismatchFraction <= 0 {
+		t.Error("40% provisioning shows no mismatches")
+	}
+	if pts[0].CapitalCost != 100e3*15 {
+		t.Errorf("capital cost %g, want 1.5M", pts[0].CapitalCost)
+	}
+}
+
+func TestCharacterizeEfficiency(t *testing.T) {
+	// Figure 3's three findings, in model form.
+	ba := CharacterizeEfficiency(newTestBattery(), 200, 2, time.Hour, units.WattHours(1.5))
+	sc := CharacterizeEfficiency(newTestSupercap(), 200, 2, time.Hour, units.WattHours(1.5))
+
+	if sc.OneShot <= ba.OneShot {
+		t.Errorf("SC one-shot efficiency %.3f <= battery %.3f", sc.OneShot, ba.OneShot)
+	}
+	if sc.OneShot < 0.85 {
+		t.Errorf("SC efficiency %.3f below 85%%", sc.OneShot)
+	}
+	if ba.OneShot > 0.85 {
+		t.Errorf("battery one-shot efficiency %.3f implausibly high", ba.OneShot)
+	}
+	if ba.RecoveredEnergy <= 0 {
+		t.Error("battery recovery effect missing")
+	}
+	if ba.WithRecovery <= ba.OneShot {
+		t.Errorf("recovery did not improve efficiency: %.3f vs %.3f",
+			ba.WithRecovery, ba.OneShot)
+	}
+	if ba.OnOffWaste != units.Energy(2*float64(units.WattHours(1.5))) {
+		t.Errorf("on/off waste %v, want 2 boot cycles", ba.OnOffWaste)
+	}
+	// SCs barely recover (no bound-charge well).
+	if sc.RecoveredEnergy > ba.RecoveredEnergy {
+		t.Errorf("SC recovered %v > battery %v", sc.RecoveredEnergy, ba.RecoveredEnergy)
+	}
+}

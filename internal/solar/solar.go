@@ -1,0 +1,165 @@
+// Package solar models the rooftop photovoltaic array the paper taps into
+// for the renewable-energy-utilization experiments (Section 7.4). The
+// generator produces a diurnal irradiance bell with stochastic cloud
+// transients — the deep, fast power valleys and ramps that exceed battery
+// charge-current limits and that super-capacitors absorb.
+package solar
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"heb/internal/trace"
+	"heb/internal/units"
+)
+
+// Config parameterizes the array and its weather.
+type Config struct {
+	// PeakPower is the array's clear-sky noon output.
+	PeakPower units.Power
+	// Sunrise and Sunset bound the generation window within a day.
+	Sunrise, Sunset time.Duration
+	// CloudFraction is the probability a cloud event is active at any
+	// instant (0 = always clear).
+	CloudFraction float64
+	// CloudDepth is how much of the clear-sky output a cloud removes
+	// (0.8 = output drops to 20%).
+	CloudDepth float64
+	// CloudDuration is the mean cloud transit time.
+	CloudDuration time.Duration
+	// Seed makes the weather reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns a small rooftop array matched to the six-server
+// prototype (peak ≈ cluster peak demand).
+func DefaultConfig() Config {
+	return Config{
+		PeakPower:     650,
+		Sunrise:       6 * time.Hour,
+		Sunset:        18 * time.Hour,
+		CloudFraction: 0.50,
+		CloudDepth:    0.92,
+		CloudDuration: 6 * time.Minute,
+		Seed:          1,
+	}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	switch {
+	case c.PeakPower <= 0:
+		return fmt.Errorf("solar: peak power %v must be positive", c.PeakPower)
+	case c.Sunrise < 0 || c.Sunset <= c.Sunrise || c.Sunset > 24*time.Hour:
+		return fmt.Errorf("solar: sun window [%v, %v] invalid", c.Sunrise, c.Sunset)
+	case c.CloudFraction < 0 || c.CloudFraction > 1:
+		return fmt.Errorf("solar: cloud fraction %g outside [0,1]", c.CloudFraction)
+	case c.CloudDepth < 0 || c.CloudDepth > 1:
+		return fmt.Errorf("solar: cloud depth %g outside [0,1]", c.CloudDepth)
+	case c.CloudDuration <= 0:
+		return fmt.Errorf("solar: cloud duration %v must be positive", c.CloudDuration)
+	}
+	return nil
+}
+
+// ClearSky returns the cloudless output at time-of-day t (wrapping daily):
+// a half-sine between sunrise and sunset.
+func (c Config) ClearSky(t time.Duration) units.Power {
+	day := t % (24 * time.Hour)
+	if day < c.Sunrise || day > c.Sunset {
+		return 0
+	}
+	frac := float64(day-c.Sunrise) / float64(c.Sunset-c.Sunrise)
+	return units.Power(float64(c.PeakPower) * math.Sin(math.Pi*frac))
+}
+
+// Generate produces a power series of the given duration and step with
+// stochastic cloud cover. Cloud events arrive as an on/off renewal
+// process whose on-fraction matches CloudFraction and whose mean event
+// length is CloudDuration; edges are smoothed over ~20 s so ramps are
+// steep but finite, as real irradiance ramps are.
+func (c Config) Generate(duration, step time.Duration) (*trace.Series, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if duration <= 0 || step <= 0 || step > duration {
+		return nil, fmt.Errorf("solar: bad duration %v / step %v", duration, step)
+	}
+	steps := int(duration / step)
+	rng := rand.New(rand.NewSource(c.Seed))
+	values := make([]float64, steps)
+
+	// Build the cloud attenuation series first.
+	atten := make([]float64, steps) // 0 = clear, 1 = fully clouded
+	if c.CloudFraction > 0 && c.CloudDepth > 0 {
+		t := 0
+		cloudy := rng.Float64() < c.CloudFraction
+		meanClear := float64(c.CloudDuration) * (1 - c.CloudFraction) / c.CloudFraction
+		for t < steps {
+			var lenSteps int
+			if cloudy {
+				lenSteps = renewalSteps(rng, float64(c.CloudDuration), step)
+			} else {
+				lenSteps = renewalSteps(rng, meanClear, step)
+			}
+			for i := 0; i < lenSteps && t < steps; i, t = i+1, t+1 {
+				if cloudy {
+					atten[t] = 1
+				}
+			}
+			cloudy = !cloudy
+		}
+		smooth(atten, int(math.Max(1, 20/step.Seconds())))
+	}
+
+	for i := range values {
+		tt := time.Duration(i) * step
+		clear := float64(c.ClearSky(tt))
+		values[i] = clear * (1 - c.CloudDepth*atten[i])
+	}
+	return trace.NewSeries("solar", step, values)
+}
+
+// MustGenerate is Generate for known-good parameters.
+func (c Config) MustGenerate(duration, step time.Duration) *trace.Series {
+	s, err := c.Generate(duration, step)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// renewalSteps draws an exponential event length with the given mean,
+// in whole steps (at least 1).
+func renewalSteps(rng *rand.Rand, mean float64, step time.Duration) int {
+	d := rng.ExpFloat64() * mean
+	n := int(d / float64(step))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// smooth applies a moving average of the given half-width in place.
+func smooth(a []float64, hw int) {
+	if hw <= 0 || len(a) == 0 {
+		return
+	}
+	src := append([]float64(nil), a...)
+	for i := range a {
+		lo, hi := i-hw, i+hw
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(src) {
+			hi = len(src) - 1
+		}
+		var sum float64
+		for j := lo; j <= hi; j++ {
+			sum += src[j]
+		}
+		a[i] = sum / float64(hi-lo+1)
+	}
+}

@@ -1,0 +1,159 @@
+package solar
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestConfigValidate(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero peak", func(c *Config) { c.PeakPower = 0 }},
+		{"sunset before sunrise", func(c *Config) { c.Sunset = c.Sunrise - time.Hour }},
+		{"sunset past midnight", func(c *Config) { c.Sunset = 25 * time.Hour }},
+		{"cloud fraction > 1", func(c *Config) { c.CloudFraction = 1.5 }},
+		{"cloud depth < 0", func(c *Config) { c.CloudDepth = -0.1 }},
+		{"zero cloud duration", func(c *Config) { c.CloudDuration = 0 }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			m.mut(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Errorf("Validate accepted %+v", cfg)
+			}
+		})
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestClearSkyShape(t *testing.T) {
+	cfg := DefaultConfig()
+	if got := cfg.ClearSky(3 * time.Hour); got != 0 {
+		t.Errorf("night output %v, want 0", got)
+	}
+	if got := cfg.ClearSky(22 * time.Hour); got != 0 {
+		t.Errorf("evening output %v, want 0", got)
+	}
+	noon := cfg.ClearSky(12 * time.Hour)
+	if math.Abs(float64(noon-cfg.PeakPower)) > 1e-6 {
+		t.Errorf("noon output %v, want peak %v", noon, cfg.PeakPower)
+	}
+	morning := cfg.ClearSky(8 * time.Hour)
+	if morning <= 0 || morning >= noon {
+		t.Errorf("8am output %v should be between 0 and noon %v", morning, noon)
+	}
+	// Next-day wrap.
+	if got := cfg.ClearSky(36 * time.Hour); math.Abs(float64(got-noon)) > 1e-6 {
+		t.Errorf("wrapped noon %v, want %v", got, noon)
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	cfg := DefaultConfig()
+	s, err := cfg.Generate(24*time.Hour, time.Minute)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(s.Values) != 1440 {
+		t.Fatalf("series length %d, want 1440", len(s.Values))
+	}
+	for i, v := range s.Values {
+		if v < 0 {
+			t.Fatalf("negative output at %d: %g", i, v)
+		}
+		if v > float64(cfg.PeakPower)+1e-9 {
+			t.Fatalf("output %g above peak at %d", v, i)
+		}
+	}
+	// Night must be dark.
+	if s.At(2*time.Hour) != 0 {
+		t.Errorf("2am output %g, want 0", s.At(2*time.Hour))
+	}
+	// There must be meaningful energy during the day.
+	if s.Mean() <= 0 {
+		t.Error("no solar energy generated")
+	}
+}
+
+func TestGenerateCloudsReduceEnergy(t *testing.T) {
+	clear := DefaultConfig()
+	clear.CloudFraction = 0
+	cloudy := DefaultConfig()
+	cloudy.CloudFraction = 0.5
+	cloudy.CloudDepth = 0.9
+
+	cs := clear.MustGenerate(24*time.Hour, time.Minute)
+	cl := cloudy.MustGenerate(24*time.Hour, time.Minute)
+	if cl.Mean() >= cs.Mean() {
+		t.Errorf("cloudy mean %g >= clear mean %g", cl.Mean(), cs.Mean())
+	}
+	// Clouds should remove a substantial fraction.
+	ratio := cl.Mean() / cs.Mean()
+	if ratio > 0.85 {
+		t.Errorf("clouds removed only %.1f%%", (1-ratio)*100)
+	}
+}
+
+func TestGenerateCloudsCreateFastRamps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CloudFraction = 0.4
+	cfg.CloudDepth = 0.9
+	s := cfg.MustGenerate(24*time.Hour, 10*time.Second)
+	// Find the biggest step-to-step swing during daytime: it should be
+	// a significant chunk of peak (fast ramp), far larger than the
+	// clear-sky diurnal slope.
+	var maxRamp float64
+	for i := 1; i < len(s.Values); i++ {
+		d := math.Abs(s.Values[i] - s.Values[i-1])
+		if d > maxRamp {
+			maxRamp = d
+		}
+	}
+	clearSlope := float64(cfg.PeakPower) * math.Pi / (12 * 3600) * 10 // per 10s step
+	if maxRamp < 5*clearSlope {
+		t.Errorf("max ramp %g too gentle (clear-sky slope %g)", maxRamp, clearSlope)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a := cfg.MustGenerate(24*time.Hour, time.Minute)
+	b := cfg.MustGenerate(24*time.Hour, time.Minute)
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+	cfg.Seed = 99
+	c := cfg.MustGenerate(24*time.Hour, time.Minute)
+	same := true
+	for i := range a.Values {
+		if a.Values[i] != c.Values[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical weather")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := cfg.Generate(0, time.Minute); err == nil {
+		t.Error("accepted zero duration")
+	}
+	if _, err := cfg.Generate(time.Minute, time.Hour); err == nil {
+		t.Error("accepted step > duration")
+	}
+	cfg.PeakPower = -1
+	if _, err := cfg.Generate(time.Hour, time.Minute); err == nil {
+		t.Error("accepted invalid config")
+	}
+}

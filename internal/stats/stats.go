@@ -1,0 +1,166 @@
+// Package stats provides the summary statistics the multi-seed experiment
+// harness reports: means, standard deviations, quantiles and normal-
+// approximation confidence intervals over per-seed metric samples.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample is a collection of observations of one metric.
+type Sample struct {
+	values []float64
+}
+
+// New builds a sample from values (copied).
+func New(values ...float64) *Sample {
+	s := &Sample{}
+	s.Add(values...)
+	return s
+}
+
+// Add appends observations; NaN and Inf are rejected with a panic since
+// they indicate a broken experiment, not data.
+func (s *Sample) Add(values ...float64) {
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			panic(fmt.Sprintf("stats: non-finite observation %g", v))
+		}
+		s.values = append(s.values, v)
+	}
+}
+
+// N returns the observation count.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean (0 for empty).
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Var returns the unbiased sample variance (0 for n < 2).
+func (s *Sample) Var() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var sum float64
+	for _, v := range s.values {
+		d := v - m
+		sum += d * d
+	}
+	return sum / float64(n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Sample) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min and Max return the extremes (0 for empty).
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	min := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Max returns the largest observation (0 for empty).
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	max := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Quantile returns the q-quantile with linear interpolation between
+// order statistics, q clamped to [0,1].
+func (s *Sample) Quantile(q float64) float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Median is Quantile(0.5).
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// CI95 returns the normal-approximation 95% confidence half-width of the
+// mean: 1.96·std/√n (0 for n < 2).
+func (s *Sample) CI95() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	return 1.96 * s.Std() / math.Sqrt(float64(n))
+}
+
+// Summary is a rendered snapshot of a sample.
+type Summary struct {
+	N            int
+	Mean, Std    float64
+	Min, Max     float64
+	Median, CI95 float64
+}
+
+// Summarize computes all summary statistics at once.
+func (s *Sample) Summarize() Summary {
+	return Summary{
+		N:      s.N(),
+		Mean:   s.Mean(),
+		Std:    s.Std(),
+		Min:    s.Min(),
+		Max:    s.Max(),
+		Median: s.Median(),
+		CI95:   s.CI95(),
+	}
+}
+
+// String renders "mean ± ci [min, max] (n)".
+func (sm Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g [%.4g, %.4g] (n=%d)", sm.Mean, sm.CI95, sm.Min, sm.Max, sm.N)
+}
+
+// Overlaps reports whether two summaries' 95% confidence intervals
+// overlap — the quick "is this difference significant?" check used by the
+// multi-seed comparisons.
+func (sm Summary) Overlaps(o Summary) bool {
+	loA, hiA := sm.Mean-sm.CI95, sm.Mean+sm.CI95
+	loB, hiB := o.Mean-o.CI95, o.Mean+o.CI95
+	return loA <= hiB && loB <= hiA
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptySample(t *testing.T) {
+	s := New()
+	if s.N() != 0 || s.Mean() != 0 || s.Std() != 0 || s.Min() != 0 ||
+		s.Max() != 0 || s.Median() != 0 || s.CI95() != 0 {
+		t.Errorf("empty sample not all zeros: %+v", s.Summarize())
+	}
+}
+
+func TestBasicStatistics(t *testing.T) {
+	s := New(2, 4, 4, 4, 5, 5, 7, 9)
+	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Mean = %g, want 5", got)
+	}
+	// Unbiased variance of this classic set is 32/7.
+	if got := s.Var(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("Var = %g, want %g", got, 32.0/7)
+	}
+	if got := s.Min(); got != 2 {
+		t.Errorf("Min = %g", got)
+	}
+	if got := s.Max(); got != 9 {
+		t.Errorf("Max = %g", got)
+	}
+	if got := s.Median(); math.Abs(got-4.5) > 1e-12 {
+		t.Errorf("Median = %g, want 4.5", got)
+	}
+}
+
+func TestSingleValue(t *testing.T) {
+	s := New(3.5)
+	if s.Mean() != 3.5 || s.Std() != 0 || s.CI95() != 0 {
+		t.Errorf("single value summary wrong: %+v", s.Summarize())
+	}
+	if s.Median() != 3.5 || s.Quantile(0.99) != 3.5 {
+		t.Error("single-value quantiles wrong")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	s := New(10, 20, 30, 40, 50)
+	tests := []struct{ q, want float64 }{
+		{0, 10}, {1, 50}, {0.5, 30}, {0.25, 20}, {0.125, 15},
+		{-1, 10}, {2, 50},
+	}
+	for _, tt := range tests {
+		if got := s.Quantile(tt.q); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%g) = %g, want %g", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	s := New(5, 1, 3)
+	s.Quantile(0.5)
+	if s.values[0] != 5 {
+		t.Error("Quantile sorted the sample in place")
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	small := New(1, 2, 3, 4)
+	var many []float64
+	for i := 0; i < 16; i++ {
+		many = append(many, float64(1+i%4))
+	}
+	big := New(many...)
+	if big.CI95() >= small.CI95() {
+		t.Errorf("CI did not shrink with n: %g vs %g", big.CI95(), small.CI95())
+	}
+}
+
+func TestAddRejectsNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(%g) did not panic", bad)
+				}
+			}()
+			New(bad)
+		}()
+	}
+}
+
+func TestSummaryOverlaps(t *testing.T) {
+	a := Summary{Mean: 10, CI95: 1}
+	b := Summary{Mean: 11.5, CI95: 1}
+	c := Summary{Mean: 13, CI95: 0.5}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("touching intervals should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("disjoint intervals overlap")
+	}
+	if !a.Overlaps(a) {
+		t.Error("interval does not overlap itself")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := New(1, 2, 3).Summarize()
+	if got := s.String(); got == "" {
+		t.Error("empty summary string")
+	}
+}
+
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r)
+		}
+		s := New(vals...)
+		m := s.Mean()
+		return m >= s.Min()-1e-9 && m <= s.Max()+1e-9 &&
+			s.Median() >= s.Min()-1e-9 && s.Median() <= s.Max()+1e-9 &&
+			s.Var() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

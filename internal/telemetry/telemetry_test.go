@@ -1,0 +1,251 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"heb/internal/sim"
+	"heb/internal/units"
+)
+
+func snap(t float64, demand float64, mismatch bool) Snapshot {
+	return Snapshot{Seconds: t, DemandW: demand, BatterySoC: 0.8, SupercapSoC: 0.9, Mismatch: mismatch}
+}
+
+func TestNewRecorderValidation(t *testing.T) {
+	if _, err := NewRecorder(0); err == nil {
+		t.Error("accepted zero capacity")
+	}
+	if _, err := NewRecorder(-1); err == nil {
+		t.Error("accepted negative capacity")
+	}
+}
+
+func TestRecorderLatestAndLen(t *testing.T) {
+	r := MustNewRecorder(4)
+	if _, ok := r.Latest(); ok {
+		t.Error("empty recorder has a latest snapshot")
+	}
+	if r.Len() != 0 {
+		t.Errorf("empty recorder Len %d", r.Len())
+	}
+	r.Record(snap(1, 100, false))
+	r.Record(snap(2, 200, true))
+	if r.Len() != 2 {
+		t.Errorf("Len %d, want 2", r.Len())
+	}
+	s, ok := r.Latest()
+	if !ok || s.Seconds != 2 {
+		t.Errorf("Latest = %+v ok=%v", s, ok)
+	}
+}
+
+func TestRecorderRingWraps(t *testing.T) {
+	r := MustNewRecorder(3)
+	for i := 1; i <= 5; i++ {
+		r.Record(snap(float64(i), 100, false))
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len %d, want 3", r.Len())
+	}
+	h := r.History(0)
+	want := []float64{3, 4, 5}
+	for i, w := range want {
+		if h[i].Seconds != w {
+			t.Fatalf("history %v, want seconds %v", h, want)
+		}
+	}
+	// Asking for more than stored returns all, oldest first.
+	h = r.History(100)
+	if len(h) != 3 || h[0].Seconds != 3 {
+		t.Errorf("History(100) = %v", h)
+	}
+	// Asking for fewer returns the most recent ones.
+	h = r.History(2)
+	if len(h) != 2 || h[0].Seconds != 4 || h[1].Seconds != 5 {
+		t.Errorf("History(2) = %v", h)
+	}
+}
+
+func TestRecorderSummary(t *testing.T) {
+	r := MustNewRecorder(10)
+	r.Record(Snapshot{DemandW: 300, BatterySoC: 0.9, SupercapSoC: 0.8, Mismatch: true, Off: 1})
+	r.Record(Snapshot{DemandW: 250, BatterySoC: 0.5, SupercapSoC: 0.95, Mismatch: false, Off: 0})
+	s := r.Summary()
+	if s.Steps != 2 || s.MismatchSteps != 1 {
+		t.Errorf("summary %+v", s)
+	}
+	if s.PeakDemandW != 300 {
+		t.Errorf("peak demand %g", s.PeakDemandW)
+	}
+	if s.MinBatterySoC != 0.5 || s.MinSupercapSoC != 0.8 {
+		t.Errorf("min SoCs %g/%g", s.MinBatterySoC, s.MinSupercapSoC)
+	}
+	if s.ShedServerObs != 1 {
+		t.Errorf("shed observations %d", s.ShedServerObs)
+	}
+}
+
+func TestObserverBridgesStepInfo(t *testing.T) {
+	r := MustNewRecorder(4)
+	obs := r.Observer()
+	obs(sim.StepInfo{
+		Now: 90 * time.Second, Demand: units.Power(333), Supply: units.Power(260),
+		BatterySoC: 0.7, SupercapSoC: 0.6,
+		OnUtility: 4, OnBattery: 1, OnSupercap: 1, Mismatch: true,
+	})
+	s, ok := r.Latest()
+	if !ok {
+		t.Fatal("observer did not record")
+	}
+	if s.Seconds != 90 || s.DemandW != 333 || s.OnBattery != 1 || !s.Mismatch {
+		t.Errorf("bridged snapshot %+v", s)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	r := MustNewRecorder(8)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, error) { return http.Get(srv.URL + path) }
+
+	resp, err := get("/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: %v %v", err, resp.Status)
+	}
+	resp.Body.Close()
+
+	// /latest before any data: 404.
+	resp, err = get("/latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/latest empty: %v", resp.Status)
+	}
+	resp.Body.Close()
+
+	r.Record(snap(1, 260, false))
+	r.Record(snap(2, 410, true))
+
+	resp, err = get("/latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var latest Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&latest); err != nil {
+		t.Fatalf("decode /latest: %v", err)
+	}
+	resp.Body.Close()
+	if latest.Seconds != 2 || !latest.Mismatch {
+		t.Errorf("/latest = %+v", latest)
+	}
+
+	resp, err = get("/history?n=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist []Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&hist); err != nil {
+		t.Fatalf("decode /history: %v", err)
+	}
+	resp.Body.Close()
+	if len(hist) != 2 {
+		t.Errorf("/history returned %d", len(hist))
+	}
+
+	resp, err = get("/history?n=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad n accepted: %v", resp.Status)
+	}
+	resp.Body.Close()
+
+	resp, err = get("/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum Summary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatalf("decode /summary: %v", err)
+	}
+	resp.Body.Close()
+	if sum.Steps != 2 || sum.MismatchSteps != 1 {
+		t.Errorf("/summary = %+v", sum)
+	}
+}
+
+func TestRecorderConcurrentAccess(t *testing.T) {
+	r := MustNewRecorder(128)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			r.Record(snap(float64(i), 100, i%2 == 0))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			r.Latest()
+			r.History(10)
+			r.Summary()
+		}
+	}()
+	wg.Wait()
+	if r.Summary().Steps != 1000 {
+		t.Errorf("steps %d, want 1000", r.Summary().Steps)
+	}
+}
+
+func TestCurvesEndpoint(t *testing.T) {
+	r := MustNewRecorder(16)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/curves")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/curves with no data: %v", resp.Status)
+	}
+	resp.Body.Close()
+
+	for i := 0; i < 10; i++ {
+		r.Record(Snapshot{Seconds: float64(i), DemandW: 200 + 20*float64(i), BatterySoC: 0.9, SupercapSoC: 0.5})
+	}
+	resp, err = http.Get(srv.URL + "/curves?w=20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, label := range []string{"demand W", "batt SoC", "SC SoC"} {
+		if !strings.Contains(text, label) {
+			t.Errorf("/curves missing %q:\n%s", label, text)
+		}
+	}
+	resp, err = http.Get(srv.URL + "/curves?w=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad width accepted: %v", resp.Status)
+	}
+	resp.Body.Close()
+}

@@ -1,0 +1,23 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkGenerateHour(b *testing.B) {
+	spec := Catalog()[0]
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.Generate(int64(i), 6, time.Hour, 10*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterTraceDay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ClusterTrace(int64(i), 24*time.Hour, time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

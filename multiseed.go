@@ -1,0 +1,128 @@
+package heb
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"heb/internal/stats"
+)
+
+// MultiSeedResult carries per-scheme metric distributions over repeated
+// runs with different workload seeds — the confidence-interval view of
+// the Figure 12 comparison that a single prototype run cannot give.
+type MultiSeedResult struct {
+	Scheme SchemeID
+	// EE, Downtime and BatteryLife summarize the per-seed samples.
+	EE, Downtime, BatteryLife stats.Summary
+}
+
+// MultiSeedOptions tune the repeated comparison.
+type MultiSeedOptions struct {
+	// Seeds is how many independent seeds to run (default 5).
+	Seeds int
+	// Duration is simulated time per run (default 8h).
+	Duration time.Duration
+	// Workload names the Table 1 workload (default PR).
+	Workload string
+	// Schemes defaults to BaOnly, SCFirst, HEB-D.
+	Schemes []SchemeID
+}
+
+// MultiSeedComparison reruns the scheme comparison across seeds and
+// summarizes each metric with mean, spread and 95% confidence interval.
+func MultiSeedComparison(p Prototype, opts MultiSeedOptions) ([]MultiSeedResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Seeds == 0 {
+		opts.Seeds = 5
+	}
+	if opts.Seeds < 2 {
+		return nil, fmt.Errorf("heb: multi-seed comparison needs >= 2 seeds")
+	}
+	if opts.Duration == 0 {
+		opts.Duration = 8 * time.Hour
+	}
+	if opts.Workload == "" {
+		opts.Workload = "PR"
+	}
+	if len(opts.Schemes) == 0 {
+		opts.Schemes = []SchemeID{BaOnly, SCFirst, HEBD}
+	}
+
+	type acc struct{ ee, down, life *stats.Sample }
+	samples := map[SchemeID]acc{}
+	for _, id := range opts.Schemes {
+		samples[id] = acc{stats.New(), stats.New(), stats.New()}
+	}
+	for s := 0; s < opts.Seeds; s++ {
+		pp := p
+		pp.Seed = p.Seed + int64(s)*7919
+		w, err := WorkloadNamed(opts.Workload)
+		if err != nil {
+			return nil, err
+		}
+		w = w.WithDuration(opts.Duration)
+		for _, id := range opts.Schemes {
+			res, err := pp.Run(id, w, RunOptions{Duration: opts.Duration})
+			if err != nil {
+				return nil, fmt.Errorf("heb: seed %d scheme %v: %w", s, id, err)
+			}
+			a := samples[id]
+			a.ee.Add(res.EnergyEfficiency)
+			a.down.Add(res.DowntimeServerSeconds)
+			a.life.Add(res.BatteryLifetimeYears)
+		}
+	}
+
+	out := make([]MultiSeedResult, 0, len(opts.Schemes))
+	for _, id := range opts.Schemes {
+		a := samples[id]
+		out = append(out, MultiSeedResult{
+			Scheme:      id,
+			EE:          a.ee.Summarize(),
+			Downtime:    a.down.Summarize(),
+			BatteryLife: a.life.Summarize(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Scheme < out[j].Scheme })
+	return out, nil
+}
+
+// SignificantEEGain reports whether the second scheme's EE distribution
+// sits significantly above the first's (non-overlapping 95% CIs).
+func SignificantEEGain(results []MultiSeedResult, base, improved SchemeID) (bool, error) {
+	var b, i *MultiSeedResult
+	for k := range results {
+		switch results[k].Scheme {
+		case base:
+			b = &results[k]
+		case improved:
+			i = &results[k]
+		}
+	}
+	if b == nil || i == nil {
+		return false, fmt.Errorf("heb: schemes %v/%v missing from results", base, improved)
+	}
+	return i.EE.Mean > b.EE.Mean && !i.EE.Overlaps(b.EE), nil
+}
+
+// WriteMultiSeed renders the distributions.
+func WriteMultiSeed(w io.Writer, results []MultiSeedResult) error {
+	if len(results) == 0 {
+		return fmt.Errorf("heb: nothing to report")
+	}
+	if _, err := fmt.Fprintf(w, "%-8s %-28s %-32s %-26s\n",
+		"scheme", "EE (mean ± CI95)", "downtime server-s", "battery life y"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if _, err := fmt.Fprintf(w, "%-8v %-28s %-32s %-26s\n",
+			r.Scheme, r.EE, r.Downtime, r.BatteryLife); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+package heb
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"heb/internal/sim"
+	"heb/internal/workload"
+)
+
+// This file renders experiment results as the text analogues of the
+// paper's tables and figures.
+
+// WriteFigure1 renders the provisioning analysis table.
+func WriteFigure1(w io.Writer, r Figure1Result) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "level\tbudget\tMPPU\tmismatch%\tcapex($)")
+	for i, p := range r.Points {
+		fmt.Fprintf(tw, "P%d (%.0f%%)\t%v\t%.3f\t%.2f%%\t%.0f\n",
+			i+1, p.Level*100, p.Budget, p.MPPU, p.MismatchFraction*100, p.CapitalCost)
+	}
+	return tw.Flush()
+}
+
+// WriteFigure3 renders the efficiency characterization.
+func WriteFigure3(w io.Writer, rows []Figure3Row) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "servers\tbattery 1-shot\tbattery +recovery\tSC 1-shot\trecovered\ton/off waste")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.3f\t%.3f\t%.3f\t%v\t%v\n",
+			r.Servers, r.Battery.OneShot, r.Battery.WithRecovery,
+			r.SC.OneShot, r.Battery.RecoveredEnergy, r.Battery.OnOffWaste)
+	}
+	return tw.Flush()
+}
+
+// WriteFigure4 renders the technology cost comparison.
+func WriteFigure4(w io.Writer, rows []Figure4Row) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "technology\tinitial $/kWh\tcycles\tamortized $/kWh/cycle\tefficiency")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.3f\t%.2f\n",
+			r.Technology.Name, r.Technology.InitialCostPerKWh,
+			r.Technology.CycleLife, r.Amortized, r.Technology.Efficiency)
+	}
+	return tw.Flush()
+}
+
+// WriteFigure5 summarizes the discharge curves (initial/mid/final voltage
+// and curve length) rather than dumping every sample.
+func WriteFigure5(w io.Writer, results []Figure5Result) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "servers\tdevice\tsamples\tV(start)\tV(mid)\tV(end)")
+	for _, r := range results {
+		for _, row := range []struct {
+			name  string
+			curve []float64
+		}{
+			{"battery", voltsToFloats(r.Battery)},
+			{"supercap", voltsToFloats(r.SC)},
+		} {
+			n := len(row.curve)
+			if n == 0 {
+				fmt.Fprintf(tw, "%d\t%s\t0\t-\t-\t-\n", r.Servers, row.name)
+				continue
+			}
+			fmt.Fprintf(tw, "%d\t%s\t%d\t%.2f\t%.2f\t%.2f\n",
+				r.Servers, row.name, n, row.curve[0], row.curve[n/2], row.curve[n-1])
+		}
+	}
+	return tw.Flush()
+}
+
+func voltsToFloats[T ~float64](vs []T) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// WriteFigure6 renders the split sweep.
+func WriteFigure6(w io.Writer, r Figure6Result) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SC-servers\tBA-servers\truntime\tvs best")
+	best := r.Runtimes[r.BestSplit]
+	for i, rt := range r.Runtimes {
+		mark := ""
+		if i == r.BestSplit {
+			mark = " *optimal"
+		}
+		rel := 0.0
+		if best > 0 {
+			rel = float64(rt) / float64(best)
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%v\t%.2f%s\n", i, len(r.Runtimes)-1-i, rt.Round(time.Second), rel, mark)
+	}
+	return tw.Flush()
+}
+
+// WriteTable1 renders the workload catalog.
+func WriteTable1(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tabbr\tcategory\tpeak class")
+	for _, s := range workload.Catalog() {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%v\n", s.Name, s.Abbrev, s.Category, s.Class)
+	}
+	return tw.Flush()
+}
+
+// WriteSchemeComparison renders a Figure 12-style grid for one metric.
+func WriteSchemeComparison(w io.Writer, results []SchemeResult, metric string, f func(sim.Result) float64) error {
+	if len(results) == 0 {
+		return fmt.Errorf("heb: nothing to report")
+	}
+	names := workloadNames(results[0])
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s\t%s\tmean\n", metric, strings.Join(names, "\t"))
+	for _, sr := range results {
+		cells := make([]string, 0, len(names))
+		for _, n := range names {
+			cells = append(cells, fmt.Sprintf("%.3f", f(sr.Results[n])))
+		}
+		fmt.Fprintf(tw, "%v\t%s\t%.3f\n", sr.Scheme, strings.Join(cells, "\t"), sr.Mean(f))
+	}
+	return tw.Flush()
+}
+
+// workloadNames returns a SchemeResult's workload keys in catalog order
+// (unknown names appended alphabetically).
+func workloadNames(sr SchemeResult) []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, s := range workload.Catalog() {
+		if _, ok := sr.Results[s.Abbrev]; ok {
+			names = append(names, s.Abbrev)
+			seen[s.Abbrev] = true
+		}
+	}
+	var rest []string
+	for n := range sr.Results {
+		if !seen[n] {
+			rest = append(rest, n)
+		}
+	}
+	sort.Strings(rest)
+	return append(names, rest...)
+}
+
+// WriteImprovementSummary prints each scheme's improvement over the
+// BaOnly baseline for the headline metrics, the way the abstract quotes
+// them (EE +39.7%, downtime −41%, lifetime 4.7x, REU +81.2%).
+func WriteImprovementSummary(w io.Writer, results []SchemeResult) error {
+	var base *SchemeResult
+	for i := range results {
+		if results[i].Scheme == BaOnly {
+			base = &results[i]
+			break
+		}
+	}
+	if base == nil {
+		return fmt.Errorf("heb: summary needs a BaOnly baseline")
+	}
+	ee := func(r sim.Result) float64 { return r.EnergyEfficiency }
+	dt := func(r sim.Result) float64 { return r.DowntimeServerSeconds }
+	bl := func(r sim.Result) float64 { return r.BatteryLifetimeYears }
+	reu := func(r sim.Result) float64 { return r.REU }
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheme\tEE gain\tdowntime cut\tbattery life\tREU gain")
+	for _, sr := range results {
+		fmt.Fprintf(tw, "%v\t%s\t%s\t%s\t%s\n",
+			sr.Scheme,
+			pctGain(sr.Mean(ee), base.Mean(ee)),
+			pctCut(sr.Mean(dt), base.Mean(dt)),
+			times(sr.Mean(bl), base.Mean(bl)),
+			pctGain(sr.Mean(reu), base.Mean(reu)),
+		)
+	}
+	return tw.Flush()
+}
+
+func pctGain(v, base float64) string {
+	if base == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", (v/base-1)*100)
+}
+
+func pctCut(v, base float64) string {
+	if base == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", (1-v/base)*100)
+}
+
+func times(v, base float64) string {
+	if base == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fx", v/base)
+}
+
+// WriteFigure13 renders the capacity ratio sweep normalized to the 3:7
+// point as the paper does.
+func WriteFigure13(w io.Writer, pts []RatioPoint) error {
+	var ref *RatioPoint
+	for i := range pts {
+		if math.Abs(pts[i].SCRatio-0.3) < 1e-9 {
+			ref = &pts[i]
+			break
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SC:BA\tEE\tdowntime(s)\tbattLife(y)\tREU\t| normalized to 3:7")
+	for _, p := range pts {
+		line := fmt.Sprintf("%.0f:%.0f\t%.3f\t%.0f\t%.2f\t%.3f",
+			p.SCRatio*10, (1-p.SCRatio)*10, p.EnergyEfficiency,
+			p.DowntimeSeconds, p.BatteryLifetimeYears, p.REU)
+		if ref != nil {
+			line += fmt.Sprintf("\t| %.2f / %.2f / %.2f / %.2f",
+				norm(p.EnergyEfficiency, ref.EnergyEfficiency),
+				norm(p.DowntimeSeconds, ref.DowntimeSeconds),
+				norm(p.BatteryLifetimeYears, ref.BatteryLifetimeYears),
+				norm(p.REU, ref.REU))
+		}
+		fmt.Fprintln(tw, line)
+	}
+	return tw.Flush()
+}
+
+// WriteFigure14 renders the capacity growth sweep.
+func WriteFigure14(w io.Writer, pts []GrowthPoint) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "DoD\tcapacity(Wh)\tEE\tdowntime(s)\tbattLife(y)\tREU")
+	for _, p := range pts {
+		fmt.Fprintf(tw, "%.0f%%\t%.0f\t%.3f\t%.0f\t%.2f\t%.3f\n",
+			p.DoD*100, p.EffectiveCapacityWh, p.EnergyEfficiency,
+			p.DowntimeSeconds, p.BatteryLifetimeYears, p.REU)
+	}
+	return tw.Flush()
+}
+
+// WriteFigure15c renders the peak-shaving economics.
+func WriteFigure15c(w io.Writer, rows []Figure15cRow) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheme\tEE\tavail\tbattLife(y)\tshaved(kW)\trevenue($/y)\tbreak-even(y)\tnet@8y($)")
+	for _, r := range rows {
+		be := "never"
+		if !math.IsInf(r.BreakEven, 1) {
+			be = fmt.Sprintf("%.1f", r.BreakEven)
+		}
+		fmt.Fprintf(tw, "%v\t%.3f\t%.3f\t%.1f\t%.1f\t%.0f\t%s\t%.0f\n",
+			r.Scheme, r.Scenario.Efficiency, r.Scenario.Availability,
+			r.Scenario.BatteryLifeYears, r.Scenario.ShavedKW(),
+			r.Scenario.AnnualRevenue(), be, r.NetProfit)
+	}
+	return tw.Flush()
+}
+
+func norm(v, ref float64) float64 {
+	if ref == 0 {
+		return 0
+	}
+	return v / ref
+}

@@ -1,0 +1,96 @@
+package heb
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"heb/internal/units"
+)
+
+// ScalePoint is one cluster size of the scale-out study.
+type ScalePoint struct {
+	Servers               int
+	BudgetW               float64
+	StorageWh             float64
+	EnergyEfficiency      float64
+	DowntimeServerSeconds float64
+	DowntimeFraction      float64
+	WallClock             time.Duration
+	SimStepsPerSecond     float64
+}
+
+// ScaleOutStudy grows the prototype by integer factors — servers, budget
+// and storage all scale together — and runs HEB-D on each size. The paper
+// claims the distributed, reconfigurable architecture "is easy to scale
+// out and configure"; the study checks that the per-server outcomes stay
+// flat as the cluster grows, and doubles as a simulator throughput
+// benchmark.
+func ScaleOutStudy(p Prototype, factors []int, duration time.Duration) ([]ScalePoint, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(factors) == 0 {
+		factors = []int{1, 2, 4, 8}
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("heb: duration %v must be positive", duration)
+	}
+	out := make([]ScalePoint, 0, len(factors))
+	for _, f := range factors {
+		if f <= 0 {
+			return nil, fmt.Errorf("heb: scale factor %d must be positive", f)
+		}
+		pp := p
+		pp.NumServers = p.NumServers * f
+		pp.Budget = units.Power(float64(p.Budget) * float64(f))
+		pp.StorageWh = p.StorageWh * float64(f)
+		pp.BatteryStrings = p.BatteryStrings * f
+		pp.SCBanks = p.SCBanks * f
+
+		w, err := WorkloadNamed("PR")
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res, err := pp.Run(HEBD, w.WithDuration(duration), RunOptions{Duration: duration})
+		if err != nil {
+			return nil, fmt.Errorf("heb: scale factor %d: %w", f, err)
+		}
+		elapsed := time.Since(start)
+		pt := ScalePoint{
+			Servers:               pp.NumServers,
+			BudgetW:               float64(pp.Budget),
+			StorageWh:             pp.StorageWh,
+			EnergyEfficiency:      res.EnergyEfficiency,
+			DowntimeServerSeconds: res.DowntimeServerSeconds,
+			DowntimeFraction:      res.DowntimeFraction,
+			WallClock:             elapsed,
+		}
+		if secs := elapsed.Seconds(); secs > 0 {
+			pt.SimStepsPerSecond = float64(res.Steps) / secs
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// WriteScaleOut renders the study.
+func WriteScaleOut(w io.Writer, pts []ScalePoint) error {
+	if len(pts) == 0 {
+		return fmt.Errorf("heb: nothing to report")
+	}
+	if _, err := fmt.Fprintf(w, "%8s %10s %11s %8s %14s %12s %14s\n",
+		"servers", "budget(W)", "storage(Wh)", "EE", "downtime frac", "wall clock", "sim steps/s"); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(w, "%8d %10.0f %11.0f %8.3f %14.4f %12v %14.0f\n",
+			p.Servers, p.BudgetW, p.StorageWh, p.EnergyEfficiency,
+			p.DowntimeFraction, p.WallClock.Round(time.Millisecond),
+			p.SimStepsPerSecond); err != nil {
+			return err
+		}
+	}
+	return nil
+}
