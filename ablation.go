@@ -1,6 +1,7 @@
 package heb
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"heb/internal/esd"
 	"heb/internal/forecast"
 	"heb/internal/power"
+	"heb/internal/runner"
 	"heb/internal/sim"
 )
 
@@ -36,14 +38,18 @@ func PredictionAblation(p Prototype, w Workload, duration time.Duration) ([]Pred
 	w = w.WithDuration(duration)
 	opts := RunOptions{Duration: duration}
 
-	naive, err := p.Run(HEBF, w, opts)
+	// The naive and Holt-Winters variants are independent and run in
+	// parallel on the shared pool; the oracle run must wait for the
+	// Holt-Winters pass, whose measured slot extremes prime it.
+	schemes := []SchemeID{HEBF, HEBD}
+	firstTwo, err := runner.Map(context.Background(), len(schemes), 0,
+		func(_ context.Context, i int) (sim.Result, error) {
+			return p.Run(schemes[i], w, opts)
+		})
 	if err != nil {
 		return nil, err
 	}
-	hw, err := p.Run(HEBD, w, opts)
-	if err != nil {
-		return nil, err
-	}
+	naive, hw := firstTwo[0], firstTwo[1]
 	// The recording pass's measured slot extremes prime the oracle. The
 	// oracle run's own slot extremes can drift slightly (different shed
 	// decisions), which is the usual caveat of counterfactual replay.
@@ -95,40 +101,48 @@ func CompareWithDVFSCapping(p Prototype, w Workload, duration time.Duration) ([]
 	}
 	w = w.WithDuration(duration)
 
-	heb, err := p.Run(HEBD, w, RunOptions{Duration: duration})
-	if err != nil {
-		return nil, err
+	// Both arms are independent simulations; run them concurrently.
+	runHEB := func() (sim.Result, error) {
+		return p.Run(HEBD, w, RunOptions{Duration: duration})
 	}
-
 	// The capping baseline: no storage at all (null devices), the
 	// governor handles mismatches.
-	ctrl, err := core.NewController(core.Config{
-		SmallPeakWatts: p.SmallPeakWatts,
-		Budget:         p.Budget,
-		NumServers:     p.NumServers,
-	}, core.NewBaOnly())
+	runCapping := func() (sim.Result, error) {
+		ctrl, err := core.NewController(core.Config{
+			SmallPeakWatts: p.SmallPeakWatts,
+			Budget:         p.Budget,
+			NumServers:     p.NumServers,
+		}, core.NewBaOnly())
+		if err != nil {
+			return sim.Result{}, err
+		}
+		tr, err := w.Trace(p)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		feed, err := power.NewUtilityFeed(p.Budget)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		eng, err := sim.New(sim.Config{
+			Step: p.Step, Slot: p.Slot, Duration: duration,
+			Servers: p.Servers(), Workload: tr,
+			Battery: esd.Null{}, Feed: feed,
+			Controller:  ctrl,
+			DVFSCapping: true,
+		})
+		if err != nil {
+			return sim.Result{}, err
+		}
+		return eng.Run(), nil
+	}
+	arms := []func() (sim.Result, error){runHEB, runCapping}
+	results, err := runner.Map(context.Background(), len(arms), 0,
+		func(_ context.Context, i int) (sim.Result, error) { return arms[i]() })
 	if err != nil {
 		return nil, err
 	}
-	tr, err := w.Trace(p)
-	if err != nil {
-		return nil, err
-	}
-	feed, err := power.NewUtilityFeed(p.Budget)
-	if err != nil {
-		return nil, err
-	}
-	eng, err := sim.New(sim.Config{
-		Step: p.Step, Slot: p.Slot, Duration: duration,
-		Servers: p.Servers(), Workload: tr,
-		Battery: esd.Null{}, Feed: feed,
-		Controller:  ctrl,
-		DVFSCapping: true,
-	})
-	if err != nil {
-		return nil, err
-	}
-	capping := eng.Run()
+	heb, capping := results[0], results[1]
 
 	row := func(name string, r sim.Result) CappingComparisonRow {
 		return CappingComparisonRow{
@@ -177,22 +191,23 @@ func AgingAblation(p Prototype, w Workload, preAge float64, duration time.Durati
 		return nil, err
 	}
 	w = w.WithDuration(duration)
-	var out []AgingAblationRow
-	for _, id := range []SchemeID{HEBS, HEBD} {
-		res, err := p.Run(id, w, RunOptions{Duration: duration})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AgingAblationRow{
-			Scheme:                id,
-			PreAge:                preAge,
-			EnergyEfficiency:      res.EnergyEfficiency,
-			DowntimeServerSeconds: res.DowntimeServerSeconds,
-			ServedFromSupercapWh:  res.ServedFromSupercap.Wh(),
-			ServedFromBatteryWh:   res.ServedFromBattery.Wh(),
+	schemes := []SchemeID{HEBS, HEBD}
+	return runner.Map(context.Background(), len(schemes), 0,
+		func(_ context.Context, i int) (AgingAblationRow, error) {
+			id := schemes[i]
+			res, err := p.Run(id, w, RunOptions{Duration: duration})
+			if err != nil {
+				return AgingAblationRow{}, err
+			}
+			return AgingAblationRow{
+				Scheme:                id,
+				PreAge:                preAge,
+				EnergyEfficiency:      res.EnergyEfficiency,
+				DowntimeServerSeconds: res.DowntimeServerSeconds,
+				ServedFromSupercapWh:  res.ServedFromSupercap.Wh(),
+				ServedFromBatteryWh:   res.ServedFromBattery.Wh(),
+			}, nil
 		})
-	}
-	return out, nil
 }
 
 // SeasonalityAblation compares seasonless Holt smoothing against a full
@@ -209,24 +224,25 @@ func SeasonalityAblation(p Prototype, w Workload, days int) ([]PredictionAblatio
 	duration := time.Duration(days) * 24 * time.Hour
 	w = w.WithDuration(duration)
 
-	seasonless, err := p.Run(HEBD, w, RunOptions{Duration: duration})
-	if err != nil {
-		return nil, err
-	}
-
 	mkSeasonal := func() forecast.Predictor {
 		cfg := forecast.DefaultHoltWintersConfig()
 		cfg.SeasonLength = int((24 * time.Hour) / p.Slot)
 		return forecast.MustNewHoltWinters(cfg)
 	}
-	seasonal, err := p.Run(HEBD, w, RunOptions{
-		Duration:        duration,
-		PeakPredictor:   mkSeasonal(),
-		ValleyPredictor: mkSeasonal(),
-	})
+	// The two predictor variants are independent multi-day runs; run
+	// them concurrently on the shared pool.
+	variants := []RunOptions{
+		{Duration: duration},
+		{Duration: duration, PeakPredictor: mkSeasonal(), ValleyPredictor: mkSeasonal()},
+	}
+	results, err := runner.Map(context.Background(), len(variants), 0,
+		func(_ context.Context, i int) (sim.Result, error) {
+			return p.Run(HEBD, w, variants[i])
+		})
 	if err != nil {
 		return nil, err
 	}
+	seasonless, seasonal := results[0], results[1]
 	row := func(name string, r sim.Result) PredictionAblationRow {
 		return PredictionAblationRow{
 			Predictor:             name,

@@ -369,6 +369,7 @@ func BenchmarkEngineStep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	steps := 0
 	for i := 0; i < b.N; i++ {
@@ -380,6 +381,37 @@ func BenchmarkEngineStep(b *testing.B) {
 	}
 	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "simSteps/s")
 }
+
+// benchMultiSeed measures the multi-seed sweep at a fixed worker count.
+// The seed × scheme grid is the repo's heaviest embarrassingly-parallel
+// sweep, so the Sequential/Parallel pair below is the headline
+// wall-clock comparison for the shared runner; TestSweepDeterminism
+// asserts both produce identical results.
+func benchMultiSeed(b *testing.B, workers int) {
+	b.Helper()
+	p := DefaultPrototype()
+	opts := MultiSeedOptions{
+		Seeds:    4,
+		Duration: time.Hour,
+		Workload: "PR",
+		Schemes:  []SchemeID{BaOnly, HEBD},
+		Workers:  workers,
+	}
+	stepsPerCell := int(opts.Duration / p.Step)
+	cells := opts.Seeds * len(opts.Schemes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MultiSeedComparison(p, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*cells*stepsPerCell)/b.Elapsed().Seconds(), "simSteps/s")
+}
+
+func BenchmarkMultiSeedSequential(b *testing.B) { benchMultiSeed(b, 1) }
+
+func BenchmarkMultiSeedParallel(b *testing.B) { benchMultiSeed(b, 0) }
 
 // BenchmarkPATLookup measures the allocation table's lookup path.
 func BenchmarkPATLookup(b *testing.B) {

@@ -10,14 +10,18 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"heb"
 	"heb/internal/ascii"
 	"heb/internal/pat"
+	"heb/internal/runner"
 	"heb/internal/sim"
 	"heb/internal/solar"
 	"heb/internal/trace"
@@ -36,6 +40,7 @@ func main() {
 		wlCSV    = flag.String("workload-csv", "", "utilization trace CSV (overrides -workload; see tracegen)")
 		patIn    = flag.String("pat-in", "", "warm-start HEB-S/HEB-D from a saved PAT (JSON)")
 		patOut   = flag.String("pat-out", "", "persist the learned PAT after -exp run (JSON)")
+		workers  = flag.Int("workers", 0, "worker pool size for sweeps and -exp all (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -46,82 +51,112 @@ func main() {
 	}
 
 	if *exp == "run" {
-		if err := runOnce(p, *duration, *scheme, *wlName, *wlCSV, *patIn, *patOut); err != nil {
+		if err := runOnce(os.Stdout, p, *duration, *scheme, *wlName, *wlCSV, *patIn, *patOut); err != nil {
 			fmt.Fprintln(os.Stderr, "hebsim:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*exp, p, *duration, units.Power(*load)); err != nil {
+	if err := run(os.Stdout, *exp, p, *duration, units.Power(*load), *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "hebsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, p heb.Prototype, duration time.Duration, load units.Power) error {
+// run dispatches one experiment, writing its table to w. workers bounds
+// the worker pool of sweep experiments (<= 0 means GOMAXPROCS).
+func run(w io.Writer, exp string, p heb.Prototype, duration time.Duration, load units.Power, workers int) error {
 	switch exp {
 	case "table1":
-		return table1()
+		return table1(w)
 	case "fig1":
-		return fig1(p)
+		return fig1(w, p)
 	case "fig1b":
-		return fig1b(p)
+		return fig1b(w, p)
 	case "fig3":
-		return fig3(p)
+		return fig3(w, p)
 	case "fig4":
-		return fig4()
+		return fig4(w)
 	case "fig5":
-		return fig5(p)
+		return fig5(w, p)
 	case "fig6":
-		return fig6(p, load)
+		return fig6(w, p, load)
 	case "fig12a":
-		return fig12(p, duration, p.Budget, "EE", func(r sim.Result) float64 { return r.EnergyEfficiency })
+		return fig12(w, p, duration, p.Budget, workers, "EE", func(r sim.Result) float64 { return r.EnergyEfficiency })
 	case "fig12b":
-		return fig12(p, duration, lowBudget(p), "downtime(s)", func(r sim.Result) float64 { return r.DowntimeServerSeconds })
+		return fig12(w, p, duration, lowBudget(p), workers, "downtime(s)", func(r sim.Result) float64 { return r.DowntimeServerSeconds })
 	case "fig12c":
-		return fig12(p, duration, p.Budget, "battLife(y)", func(r sim.Result) float64 { return r.BatteryLifetimeYears })
+		return fig12(w, p, duration, p.Budget, workers, "battLife(y)", func(r sim.Result) float64 { return r.BatteryLifetimeYears })
 	case "fig12d":
-		return fig12d(p, duration)
+		return fig12d(w, p, duration)
 	case "fig13":
-		return fig13(p, duration)
+		return fig13(w, p, duration)
 	case "fig14":
-		return fig14(p, duration)
+		return fig14(w, p, duration)
 	case "fig15a":
-		return fig15a()
+		return fig15a(w)
 	case "fig15b":
-		return fig15b()
+		return fig15b(w)
 	case "fig15c":
-		return fig15c(p, duration)
+		return fig15c(w, p, duration, workers)
 	case "deploy":
-		return deploy(p, duration)
+		return deploy(w, p, duration)
 	case "ablation":
-		return ablation(p, duration)
+		return ablation(w, p, duration)
 	case "multiseed":
-		return multiseed(p, duration)
+		return multiseed(w, p, duration, workers)
 	case "capping":
-		return capping(p, duration)
+		return capping(w, p, duration)
 	case "scale":
-		return scale(p, duration)
+		return scale(w, p, duration)
 	case "curves":
-		return curves(p, duration)
+		return curves(w, p, duration)
 	case "summary":
-		return summary(p, duration)
+		return summary(w, p, duration, workers)
 	case "all":
-		for _, e := range []string{
-			"table1", "fig1", "fig1b", "fig3", "fig4", "fig5", "fig6",
-			"fig12a", "fig12b", "fig12c", "fig12d",
-			"fig13", "fig14", "fig15a", "fig15b", "fig15c",
-			"deploy", "ablation", "multiseed", "capping", "scale", "summary",
-		} {
-			fmt.Printf("\n===== %s =====\n", e)
-			if err := run(e, p, duration, load); err != nil {
-				return fmt.Errorf("%s: %w", e, err)
-			}
-		}
-		return nil
+		return runAll(w, p, duration, load, workers)
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+}
+
+// runAll fans the full experiment suite out on the shared worker pool.
+// Each experiment renders into its own buffer; buffers are printed in
+// suite order once all experiments finish, so the output is byte-for-byte
+// identical for any worker count, and a failure reports the lowest-index
+// failing experiment. Inner sweeps run with a single worker — the suite
+// is already saturating the pool, and nesting would oversubscribe it.
+// Note the scale experiment's steps/s numbers are co-scheduled with the
+// other experiments here; run -exp scale alone for clean throughput.
+func runAll(w io.Writer, p heb.Prototype, duration time.Duration, load units.Power, workers int) error {
+	suite := []string{
+		"table1", "fig1", "fig1b", "fig3", "fig4", "fig5", "fig6",
+		"fig12a", "fig12b", "fig12c", "fig12d",
+		"fig13", "fig14", "fig15a", "fig15b", "fig15c",
+		"deploy", "ablation", "multiseed", "capping", "scale", "summary",
+	}
+	bufs, err := runner.Map(context.Background(), len(suite), workers,
+		func(_ context.Context, i int) (*bytes.Buffer, error) {
+			var buf bytes.Buffer
+			if err := run(&buf, suite[i], p, duration, load, 1); err != nil {
+				return &buf, fmt.Errorf("%s: %w", suite[i], err)
+			}
+			return &buf, nil
+		})
+	// Print whatever completed, in suite order, before reporting the
+	// (lowest-index) error: partial output still helps diagnosis.
+	for i, buf := range bufs {
+		if buf == nil || (err != nil && buf.Len() == 0) {
+			continue
+		}
+		if _, werr := fmt.Fprintf(w, "\n===== %s =====\n", suite[i]); werr != nil {
+			return werr
+		}
+		if _, werr := w.Write(buf.Bytes()); werr != nil {
+			return werr
+		}
+	}
+	return err
 }
 
 // lowBudget is the deliberately lowered budget the paper uses to trigger
@@ -130,22 +165,22 @@ func lowBudget(p heb.Prototype) units.Power {
 	return p.Budget * 85 / 100
 }
 
-func table1() error {
-	return heb.WriteTable1(os.Stdout)
+func table1(w io.Writer) error {
+	return heb.WriteTable1(w)
 }
 
-func fig1(p heb.Prototype) error {
+func fig1(w io.Writer, p heb.Prototype) error {
 	r, err := heb.Figure1(p.Seed)
 	if err != nil {
 		return err
 	}
-	return heb.WriteFigure1(os.Stdout, r)
+	return heb.WriteFigure1(w, r)
 }
 
 // fig1b illustrates the renewable mismatch of Figure 1(b): a stable load
 // against one simulated solar day, showing peak (deficit) and valley
 // (surplus) energy that the buffers must bridge and absorb.
-func fig1b(p heb.Prototype) error {
+func fig1b(w io.Writer, p heb.Prototype) error {
 	cfg := solarDefault(p)
 	series, err := cfg.Generate(24*time.Hour, time.Minute)
 	if err != nil {
@@ -163,57 +198,57 @@ func fig1b(p heb.Prototype) error {
 			deficitMin++
 		}
 	}
-	fmt.Println(ascii.Chart("solar W", series.Values, 100))
-	fmt.Printf("stable demand %.0f W over 24h\n", demand)
-	fmt.Printf("valley power (supply > demand): %5.1f Wh over %4.1f h -> charge buffers\n",
+	fmt.Fprintln(w, ascii.Chart("solar W", series.Values, 100))
+	fmt.Fprintf(w, "stable demand %.0f W over 24h\n", demand)
+	fmt.Fprintf(w, "valley power (supply > demand): %5.1f Wh over %4.1f h -> charge buffers\n",
 		surplusWh, float64(surplusMin)/60)
-	fmt.Printf("peak power   (demand > supply): %5.1f Wh over %4.1f h -> discharge buffers\n",
+	fmt.Fprintf(w, "peak power   (demand > supply): %5.1f Wh over %4.1f h -> discharge buffers\n",
 		deficitWh, float64(deficitMin)/60)
 	return nil
 }
 
-func fig3(p heb.Prototype) error {
+func fig3(w io.Writer, p heb.Prototype) error {
 	rows, err := heb.Figure3(p)
 	if err != nil {
 		return err
 	}
-	return heb.WriteFigure3(os.Stdout, rows)
+	return heb.WriteFigure3(w, rows)
 }
 
-func fig4() error {
-	return heb.WriteFigure4(os.Stdout, heb.Figure4())
+func fig4(w io.Writer) error {
+	return heb.WriteFigure4(w, heb.Figure4())
 }
 
-func fig5(p heb.Prototype) error {
+func fig5(w io.Writer, p heb.Prototype) error {
 	rows, err := heb.Figure5(p)
 	if err != nil {
 		return err
 	}
-	return heb.WriteFigure5(os.Stdout, rows)
+	return heb.WriteFigure5(w, rows)
 }
 
-func fig6(p heb.Prototype, load units.Power) error {
+func fig6(w io.Writer, p heb.Prototype, load units.Power) error {
 	r, err := heb.Figure6(p, load)
 	if err != nil {
 		return err
 	}
-	return heb.WriteFigure6(os.Stdout, r)
+	return heb.WriteFigure6(w, r)
 }
 
-func fig12(p heb.Prototype, duration time.Duration, budget units.Power, metric string, f func(sim.Result) float64) error {
-	results, err := heb.Figure12(p, heb.Figure12Options{Duration: duration, Budget: budget})
+func fig12(w io.Writer, p heb.Prototype, duration time.Duration, budget units.Power, workers int, metric string, f func(sim.Result) float64) error {
+	results, err := heb.Figure12(p, heb.Figure12Options{Duration: duration, Budget: budget, Workers: workers})
 	if err != nil {
 		return err
 	}
-	return heb.WriteSchemeComparison(os.Stdout, results, metric, f)
+	return heb.WriteSchemeComparison(w, results, metric, f)
 }
 
-func fig12d(p heb.Prototype, duration time.Duration) error {
+func fig12d(w io.Writer, p heb.Prototype, duration time.Duration) error {
 	results, err := heb.Figure12d(p, solarDefault(p), duration, nil)
 	if err != nil {
 		return err
 	}
-	return heb.WriteSchemeComparison(os.Stdout, results, "REU",
+	return heb.WriteSchemeComparison(w, results, "REU",
 		func(r sim.Result) float64 { return r.REU })
 }
 
@@ -223,44 +258,45 @@ func solarDefault(p heb.Prototype) solar.Config {
 	return cfg
 }
 
-func fig13(p heb.Prototype, duration time.Duration) error {
+func fig13(w io.Writer, p heb.Prototype, duration time.Duration) error {
 	pts, err := heb.Figure13(p, nil, duration)
 	if err != nil {
 		return err
 	}
-	return heb.WriteFigure13(os.Stdout, pts)
+	return heb.WriteFigure13(w, pts)
 }
 
-func fig14(p heb.Prototype, duration time.Duration) error {
+func fig14(w io.Writer, p heb.Prototype, duration time.Duration) error {
 	pts, err := heb.Figure14(p, nil, duration)
 	if err != nil {
 		return err
 	}
-	return heb.WriteFigure14(os.Stdout, pts)
+	return heb.WriteFigure14(w, pts)
 }
 
-func fig15a() error {
+func fig15a(w io.Writer) error {
 	items, total := heb.Figure15a()
 	for _, it := range items {
-		fmt.Printf("%-45s $%.0f (%.0f%%)\n", it.Name, it.CostUSD, it.CostUSD/total*100)
+		fmt.Fprintf(w, "%-45s $%.0f (%.0f%%)\n", it.Name, it.CostUSD, it.CostUSD/total*100)
 	}
-	fmt.Printf("%-45s $%.0f\n", "TOTAL (per HEB node, powers 6 servers)", total)
+	fmt.Fprintf(w, "%-45s $%.0f\n", "TOTAL (per HEB node, powers 6 servers)", total)
 	return nil
 }
 
-func fig15b() error {
+func fig15b(w io.Writer) error {
 	pts := heb.Figure15b()
-	fmt.Println("C_cap($/W)  peak(h)  ROI")
+	fmt.Fprintln(w, "C_cap($/W)  peak(h)  ROI")
 	for _, pt := range pts {
-		fmt.Printf("%8.0f  %7.2f  %+.2f\n", pt.CapPerWatt, pt.PeakHours, pt.ROI)
+		fmt.Fprintf(w, "%8.0f  %7.2f  %+.2f\n", pt.CapPerWatt, pt.PeakHours, pt.ROI)
 	}
 	return nil
 }
 
-func fig15c(p heb.Prototype, duration time.Duration) error {
+func fig15c(w io.Writer, p heb.Prototype, duration time.Duration, workers int) error {
 	results, err := heb.Figure12(p, heb.Figure12Options{
 		Duration: duration,
 		Schemes:  []heb.SchemeID{heb.BaOnly, heb.BaFirst, heb.SCFirst, heb.HEBD},
+		Workers:  workers,
 	})
 	if err != nil {
 		return err
@@ -269,10 +305,10 @@ func fig15c(p heb.Prototype, duration time.Duration) error {
 	if err != nil {
 		return err
 	}
-	return heb.WriteFigure15c(os.Stdout, rows)
+	return heb.WriteFigure15c(w, rows)
 }
 
-func deploy(p heb.Prototype, duration time.Duration) error {
+func deploy(w io.Writer, p heb.Prototype, duration time.Duration) error {
 	spec, err := heb.SpecNamed("PR")
 	if err != nil {
 		return err
@@ -281,42 +317,43 @@ func deploy(p heb.Prototype, duration time.Duration) error {
 	if err != nil {
 		return err
 	}
-	return heb.WriteDeployments(os.Stdout, results)
+	return heb.WriteDeployments(w, results)
 }
 
-func ablation(p heb.Prototype, duration time.Duration) error {
-	w, err := heb.WorkloadNamed("PR")
+func ablation(w io.Writer, p heb.Prototype, duration time.Duration) error {
+	wl, err := heb.WorkloadNamed("PR")
 	if err != nil {
 		return err
 	}
-	rows, err := heb.PredictionAblation(p, w, duration)
+	rows, err := heb.PredictionAblation(p, wl, duration)
 	if err != nil {
 		return err
 	}
-	fmt.Println("prediction ablation (HEB-D on PR):")
-	fmt.Printf("%-28s %10s %8s %13s\n", "predictor", "peak MAPE", "EE", "downtime(s)")
+	fmt.Fprintln(w, "prediction ablation (HEB-D on PR):")
+	fmt.Fprintf(w, "%-28s %10s %8s %13s\n", "predictor", "peak MAPE", "EE", "downtime(s)")
 	for _, r := range rows {
-		fmt.Printf("%-28s %10.3f %8.3f %13.0f\n",
+		fmt.Fprintf(w, "%-28s %10.3f %8.3f %13.0f\n",
 			r.Predictor, r.PeakMAPE, r.EnergyEfficiency, r.DowntimeServerSeconds)
 	}
 	return nil
 }
 
-func multiseed(p heb.Prototype, duration time.Duration) error {
+func multiseed(w io.Writer, p heb.Prototype, duration time.Duration, workers int) error {
 	results, err := heb.MultiSeedComparison(p, heb.MultiSeedOptions{
 		Seeds:    5,
 		Duration: duration,
 		Workload: "PR",
+		Workers:  workers,
 	})
 	if err != nil {
 		return err
 	}
-	return heb.WriteMultiSeed(os.Stdout, results)
+	return heb.WriteMultiSeed(w, results)
 }
 
 // runOnce executes a single scheme on a single workload — optionally a
 // recorded CSV trace — and prints the result with demand/SoC curves.
-func runOnce(p heb.Prototype, duration time.Duration, scheme, wlName, wlCSV, patIn, patOut string) error {
+func runOnce(w io.Writer, p heb.Prototype, duration time.Duration, scheme, wlName, wlCSV, patIn, patOut string) error {
 	var id heb.SchemeID
 	found := false
 	for _, s := range heb.AllSchemes() {
@@ -328,7 +365,7 @@ func runOnce(p heb.Prototype, duration time.Duration, scheme, wlName, wlCSV, pat
 	if !found {
 		return fmt.Errorf("unknown scheme %q", scheme)
 	}
-	var w heb.Workload
+	var wl heb.Workload
 	if wlCSV != "" {
 		f, err := os.Open(wlCSV)
 		if err != nil {
@@ -342,14 +379,14 @@ func runOnce(p heb.Prototype, duration time.Duration, scheme, wlName, wlCSV, pat
 		if err := tr.Validate(); err != nil {
 			return err
 		}
-		w = heb.WorkloadFromTrace(tr)
+		wl = heb.WorkloadFromTrace(tr)
 	} else {
 		var err error
-		w, err = heb.WorkloadNamed(wlName)
+		wl, err = heb.WorkloadNamed(wlName)
 		if err != nil {
 			return err
 		}
-		w = w.WithDuration(duration)
+		wl = wl.WithDuration(duration)
 	}
 	var demand, baSoC, scSoC []float64
 	opts := heb.RunOptions{
@@ -371,13 +408,13 @@ func runOnce(p heb.Prototype, duration time.Duration, scheme, wlName, wlCSV, pat
 			return err
 		}
 		opts.Table = table
-		fmt.Printf("warm-started PAT from %s (%d entries)\n", patIn, table.Len())
+		fmt.Fprintf(w, "warm-started PAT from %s (%d entries)\n", patIn, table.Len())
 	}
 	var learned *pat.Table
 	if patOut != "" {
 		opts.TableSink = func(t *pat.Table) { learned = t }
 	}
-	res, err := p.Run(id, w, opts)
+	res, err := p.Run(id, wl, opts)
 	if err != nil {
 		return err
 	}
@@ -396,49 +433,49 @@ func runOnce(p heb.Prototype, duration time.Duration, scheme, wlName, wlCSV, pat
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("saved learned PAT to %s (%d entries)\n", patOut, learned.Len())
+		fmt.Fprintf(w, "saved learned PAT to %s (%d entries)\n", patOut, learned.Len())
 	}
-	fmt.Println(ascii.Chart("demand W", demand, 100))
-	fmt.Println(ascii.Chart("batt SoC", baSoC, 100))
-	fmt.Println(ascii.Chart("SC SoC", scSoC, 100))
-	fmt.Println(res)
+	fmt.Fprintln(w, ascii.Chart("demand W", demand, 100))
+	fmt.Fprintln(w, ascii.Chart("batt SoC", baSoC, 100))
+	fmt.Fprintln(w, ascii.Chart("SC SoC", scSoC, 100))
+	fmt.Fprintln(w, res)
 	return nil
 }
 
-func capping(p heb.Prototype, duration time.Duration) error {
-	w, err := heb.WorkloadNamed("PR")
+func capping(w io.Writer, p heb.Prototype, duration time.Duration) error {
+	wl, err := heb.WorkloadNamed("PR")
 	if err != nil {
 		return err
 	}
-	rows, err := heb.CompareWithDVFSCapping(p, w, duration)
+	rows, err := heb.CompareWithDVFSCapping(p, wl, duration)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-28s %8s %13s %13s %12s\n",
+	fmt.Fprintf(w, "%-28s %8s %13s %13s %12s\n",
 		"approach", "EE", "downtime(s)", "degraded(s)", "utilPeak(W)")
 	for _, r := range rows {
-		fmt.Printf("%-28s %8.3f %13.0f %13.0f %12.0f\n",
+		fmt.Fprintf(w, "%-28s %8.3f %13.0f %13.0f %12.0f\n",
 			r.Approach, r.EnergyEfficiency, r.DowntimeServerSeconds,
 			r.DegradedServerSeconds, r.UtilityPeakW)
 	}
 	return nil
 }
 
-func scale(p heb.Prototype, duration time.Duration) error {
+func scale(w io.Writer, p heb.Prototype, duration time.Duration) error {
 	pts, err := heb.ScaleOutStudy(p, nil, duration)
 	if err != nil {
 		return err
 	}
-	return heb.WriteScaleOut(os.Stdout, pts)
+	return heb.WriteScaleOut(w, pts)
 }
 
-func curves(p heb.Prototype, duration time.Duration) error {
-	w, err := heb.WorkloadNamed("PR")
+func curves(w io.Writer, p heb.Prototype, duration time.Duration) error {
+	wl, err := heb.WorkloadNamed("PR")
 	if err != nil {
 		return err
 	}
 	var demand, baSoC, scSoC []float64
-	res, err := p.Run(heb.HEBD, w.WithDuration(duration), heb.RunOptions{
+	res, err := p.Run(heb.HEBD, wl.WithDuration(duration), heb.RunOptions{
 		Duration: duration,
 		Observer: func(s sim.StepInfo) {
 			demand = append(demand, float64(s.Demand))
@@ -449,15 +486,15 @@ func curves(p heb.Prototype, duration time.Duration) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println(ascii.Chart("demand W", demand, 100))
-	fmt.Println(ascii.Chart("batt SoC", baSoC, 100))
-	fmt.Println(ascii.Chart("SC SoC", scSoC, 100))
-	fmt.Printf("run: %s\n", res)
+	fmt.Fprintln(w, ascii.Chart("demand W", demand, 100))
+	fmt.Fprintln(w, ascii.Chart("batt SoC", baSoC, 100))
+	fmt.Fprintln(w, ascii.Chart("SC SoC", scSoC, 100))
+	fmt.Fprintf(w, "run: %s\n", res)
 	return nil
 }
 
-func summary(p heb.Prototype, duration time.Duration) error {
-	results, err := heb.Figure12(p, heb.Figure12Options{Duration: duration, Budget: lowBudget(p)})
+func summary(w io.Writer, p heb.Prototype, duration time.Duration, workers int) error {
+	results, err := heb.Figure12(p, heb.Figure12Options{Duration: duration, Budget: lowBudget(p), Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -477,5 +514,5 @@ func summary(p heb.Prototype, duration time.Duration) error {
 			}
 		}
 	}
-	return heb.WriteImprovementSummary(os.Stdout, results)
+	return heb.WriteImprovementSummary(w, results)
 }

@@ -1,14 +1,14 @@
 package heb
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 	"time"
 
 	"heb/internal/esd"
 	"heb/internal/power"
+	"heb/internal/runner"
 	"heb/internal/sim"
 	"heb/internal/solar"
 	"heb/internal/tco"
@@ -207,6 +207,9 @@ type Figure12Options struct {
 	Schemes []SchemeID
 	// Workloads defaults to the eight Table 1 workloads.
 	Workloads []Workload
+	// Workers bounds the sweep's worker pool (<= 0 means GOMAXPROCS).
+	// Results are identical for any worker count; see internal/runner.
+	Workers int
 }
 
 // Figure12 runs the scheme × workload grid that Figures 12(a)-(c) report:
@@ -225,73 +228,49 @@ func Figure12(p Prototype, opts Figure12Options) ([]SchemeResult, error) {
 		opts.Workloads = EvaluationWorkloads()
 	}
 	// Every (scheme, workload) cell is an independent simulation; run
-	// them on a bounded worker pool. Determinism is per-cell (each run
-	// seeds its own generators), so parallel order cannot change results.
+	// them on the shared bounded worker pool. Determinism is per-cell
+	// (each run seeds its own generators), the pool returns results in
+	// cell order, and a failing grid always reports the lowest-index
+	// cell's error, so outcomes are reproducible for any worker count.
 	type cell struct {
 		scheme   SchemeID
 		workload Workload
 	}
-	var cells []cell
+	cells := make([]cell, 0, len(opts.Schemes)*len(opts.Workloads))
 	for _, id := range opts.Schemes {
 		for _, w := range opts.Workloads {
 			cells = append(cells, cell{id, w})
 		}
 	}
-	type outcome struct {
-		cell cell
-		res  sim.Result
-		err  error
-	}
-	jobs := make(chan cell)
-	results := make(chan outcome)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(cells) {
-		workers = len(cells)
-	}
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for c := range jobs {
-				w := c.workload.WithDuration(opts.Duration)
-				res, err := p.Run(c.scheme, w, RunOptions{Duration: opts.Duration, Budget: opts.Budget})
-				results <- outcome{cell: c, res: res, err: err}
+	results, err := runner.Map(context.Background(), len(cells), opts.Workers,
+		func(_ context.Context, i int) (sim.Result, error) {
+			c := cells[i]
+			w := c.workload.WithDuration(opts.Duration)
+			res, err := p.Run(c.scheme, w, RunOptions{Duration: opts.Duration, Budget: opts.Budget})
+			if err != nil {
+				return sim.Result{}, fmt.Errorf("heb: %v on %s: %w", c.scheme, c.workload.Name(), err)
 			}
-		}()
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	go func() {
-		for _, c := range cells {
-			jobs <- c
-		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
 
-	byScheme := make(map[SchemeID]map[string]sim.Result, len(opts.Schemes))
-	for _, id := range opts.Schemes {
-		byScheme[id] = make(map[string]sim.Result, len(opts.Workloads))
-	}
-	var firstErr error
-	for o := range results {
-		if o.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("heb: %v on %s: %w", o.cell.scheme, o.cell.workload.Name(), o.err)
-		}
-		byScheme[o.cell.scheme][o.cell.workload.Name()] = o.res
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
 	out := make([]SchemeResult, 0, len(opts.Schemes))
-	for _, id := range opts.Schemes {
-		out = append(out, SchemeResult{Scheme: id, Results: byScheme[id]})
+	for si, id := range opts.Schemes {
+		sr := SchemeResult{Scheme: id, Results: make(map[string]sim.Result, len(opts.Workloads))}
+		for wi, w := range opts.Workloads {
+			sr.Results[w.Name()] = results[si*len(opts.Workloads)+wi]
+		}
+		out = append(out, sr)
 	}
 	return out, nil
 }
 
-// Figure12d runs the renewable-energy-utilization comparison: the
-// prototype powered by the rooftop solar array instead of utility.
+// Figure12d runs the renewable-energy-utilization study: the prototype
+// powered by the rooftop solar array instead of utility. The solar trace
+// is synthesized once and shared read-only; each (scheme, workload) cell
+// gets its own stateful feed over it and runs on the shared worker pool.
 func Figure12d(p Prototype, solarCfg solar.Config, duration time.Duration, schemes []SchemeID) ([]SchemeResult, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -313,22 +292,41 @@ func Figure12d(p Prototype, solarCfg solar.Config, duration time.Duration, schem
 	for i, v := range series.Values {
 		samples[i] = units.Power(v)
 	}
-	out := make([]SchemeResult, 0, len(schemes))
+	workloads := EvaluationWorkloads()[:2] // PR and WC suffice for REU
+	type cell struct {
+		scheme   SchemeID
+		workload Workload
+	}
+	cells := make([]cell, 0, len(schemes)*len(workloads))
 	for _, id := range schemes {
-		sr := SchemeResult{Scheme: id, Results: make(map[string]sim.Result)}
-		for _, w := range EvaluationWorkloads()[:2] { // PR and WC suffice for REU
-			w := w.WithDuration(duration)
+		for _, w := range workloads {
+			cells = append(cells, cell{id, w})
+		}
+	}
+	results, err := runner.Map(context.Background(), len(cells), 0,
+		func(_ context.Context, i int) (sim.Result, error) {
+			c := cells[i]
+			w := c.workload.WithDuration(duration)
 			feed, err := power.NewTraceFeed("solar", 10*time.Second, samples)
 			if err != nil {
-				return nil, err
+				return sim.Result{}, err
 			}
-			res, err := p.Run(id, w, RunOptions{
+			res, err := p.Run(c.scheme, w, RunOptions{
 				Duration: duration, Feed: feed, Renewable: true,
 			})
 			if err != nil {
-				return nil, err
+				return sim.Result{}, fmt.Errorf("heb: %v on %s: %w", c.scheme, w.Name(), err)
 			}
-			sr.Results[w.Name()] = res
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SchemeResult, 0, len(schemes))
+	for si, id := range schemes {
+		sr := SchemeResult{Scheme: id, Results: make(map[string]sim.Result, len(workloads))}
+		for wi, w := range workloads {
+			sr.Results[w.Name()] = results[si*len(workloads)+wi]
 		}
 		out = append(out, sr)
 	}

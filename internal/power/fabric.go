@@ -20,6 +20,10 @@ const (
 	SourceOff
 )
 
+// NumSources is the number of relay positions; DemandPerSource returns an
+// array indexed by Source with this length.
+const NumSources = 4
+
 // String names the source.
 func (s Source) String() string {
 	switch s {
@@ -65,11 +69,25 @@ func (a Assignment) Count(src Source) int {
 // produces per-source demand aggregates for the simulator. Individual
 // relays can be failed for fault-injection experiments: a stuck relay
 // keeps its last position and rejects switching.
+//
+// Per-server state is stored densely by the server's position in the
+// constructor slice, not in maps: the simulation engine consults the
+// fabric several times per tick, and the dense layout keeps those reads
+// allocation-free and cache-friendly. A Fabric is not safe for concurrent
+// use; parallel sweeps give each run its own Fabric.
 type Fabric struct {
 	servers []*Server
-	assign  Assignment
-	lastUse map[int]time.Duration
-	stuck   map[int]bool
+	index   map[int]int // server id -> position in servers
+	dense   bool        // ids equal positions (the common case), skip the map
+
+	// All indexed by position, not id.
+	assign  []Source
+	lastUse []time.Duration
+	stuck   []bool
+
+	offline int // count of positions currently on SourceOff
+
+	lru lruSorter // persistent sorter state for LRUOrderInto
 
 	meter Meter
 }
@@ -92,20 +110,25 @@ func NewFabric(servers []*Server) (*Fabric, error) {
 	}
 	f := &Fabric{
 		servers: servers,
-		assign:  make(Assignment, len(servers)),
-		lastUse: make(map[int]time.Duration, len(servers)),
-		stuck:   make(map[int]bool),
+		index:   make(map[int]int, len(servers)),
+		dense:   true,
+		assign:  make([]Source, len(servers)),
+		lastUse: make([]time.Duration, len(servers)),
+		stuck:   make([]bool, len(servers)),
 	}
-	seen := make(map[int]bool, len(servers))
-	for _, s := range servers {
+	f.lru.f = f
+	for i, s := range servers {
 		if s == nil {
 			return nil, fmt.Errorf("power: nil server in fabric")
 		}
-		if seen[s.ID()] {
+		if _, dup := f.index[s.ID()]; dup {
 			return nil, fmt.Errorf("power: duplicate server id %d", s.ID())
 		}
-		seen[s.ID()] = true
-		f.assign[s.ID()] = SourceUtility
+		f.index[s.ID()] = i
+		if s.ID() != i {
+			f.dense = false
+		}
+		f.assign[i] = SourceUtility
 	}
 	return f, nil
 }
@@ -119,6 +142,20 @@ func MustNewFabric(servers []*Server) *Fabric {
 	return f
 }
 
+// idx resolves a server id to its dense position, or -1 when unknown.
+func (f *Fabric) idx(id int) int {
+	if f.dense {
+		if id >= 0 && id < len(f.servers) {
+			return id
+		}
+		return -1
+	}
+	if i, ok := f.index[id]; ok {
+		return i
+	}
+	return -1
+}
+
 // Servers returns the managed servers (shared, not copied).
 func (f *Fabric) Servers() []*Server { return f.servers }
 
@@ -126,10 +163,34 @@ func (f *Fabric) Servers() []*Server { return f.servers }
 func (f *Fabric) NumServers() int { return len(f.servers) }
 
 // Assignment returns a copy of the current relay state.
-func (f *Fabric) Assignment() Assignment { return f.assign.Clone() }
+func (f *Fabric) Assignment() Assignment {
+	out := make(Assignment, len(f.servers))
+	for i, s := range f.servers {
+		out[s.ID()] = f.assign[i]
+	}
+	return out
+}
 
-// SourceOf returns the relay position of server id.
-func (f *Fabric) SourceOf(id int) Source { return f.assign[id] }
+// SourceOf returns the relay position of server id (SourceUtility for
+// unknown ids, matching the zero value).
+func (f *Fabric) SourceOf(id int) Source {
+	if i := f.idx(id); i >= 0 {
+		return f.assign[i]
+	}
+	return SourceUtility
+}
+
+// ServerByID returns the server with the given id, or nil when unknown.
+func (f *Fabric) ServerByID(id int) *Server {
+	if i := f.idx(id); i >= 0 {
+		return f.servers[i]
+	}
+	return nil
+}
+
+// IndexOf returns server id's position in Servers(), or -1 when unknown.
+// The position is a stable dense index callers can key scratch buffers by.
+func (f *Fabric) IndexOf(id int) int { return f.idx(id) }
 
 // ErrRelayStuck reports an Assign against a failed relay.
 var ErrRelayStuck = fmt.Errorf("power: relay stuck")
@@ -137,31 +198,46 @@ var ErrRelayStuck = fmt.Errorf("power: relay stuck")
 // FailRelay injects a stuck-relay fault: server id keeps its current
 // source and every further Assign for it fails with ErrRelayStuck.
 func (f *Fabric) FailRelay(id int) error {
-	if _, ok := f.assign[id]; !ok {
+	i := f.idx(id)
+	if i < 0 {
 		return fmt.Errorf("power: unknown server id %d", id)
 	}
-	f.stuck[id] = true
+	f.stuck[i] = true
 	return nil
 }
 
 // RepairRelay clears a stuck-relay fault.
-func (f *Fabric) RepairRelay(id int) { delete(f.stuck, id) }
+func (f *Fabric) RepairRelay(id int) {
+	if i := f.idx(id); i >= 0 {
+		f.stuck[i] = false
+	}
+}
 
 // RelayStuck reports whether server id's relay is failed.
-func (f *Fabric) RelayStuck(id int) bool { return f.stuck[id] }
+func (f *Fabric) RelayStuck(id int) bool {
+	i := f.idx(id)
+	return i >= 0 && f.stuck[i]
+}
 
 // Assign flips the relay of server id to src. Assigning SourceOff powers
 // the server down; assigning anything else powers it up. A stuck relay
 // rejects the switch with ErrRelayStuck.
 func (f *Fabric) Assign(id int, src Source) error {
-	if _, ok := f.assign[id]; !ok {
+	i := f.idx(id)
+	if i < 0 {
 		return fmt.Errorf("power: unknown server id %d", id)
 	}
-	if f.stuck[id] && f.assign[id] != src {
-		return fmt.Errorf("%w: server %d held on %v", ErrRelayStuck, id, f.assign[id])
+	if f.stuck[i] && f.assign[i] != src {
+		return fmt.Errorf("%w: server %d held on %v", ErrRelayStuck, id, f.assign[i])
 	}
-	f.assign[id] = src
-	srv := f.serverByID(id)
+	was := f.assign[i]
+	f.assign[i] = src
+	if was == SourceOff && src != SourceOff {
+		f.offline--
+	} else if was != SourceOff && src == SourceOff {
+		f.offline++
+	}
+	srv := f.servers[i]
 	if src == SourceOff {
 		srv.PowerOff()
 	} else {
@@ -189,8 +265,8 @@ func (f *Fabric) AssignSplit(ids []int, ratio float64) {
 	ratio = units.Clamp(ratio, 0, 1)
 	ordered := append([]int(nil), ids...)
 	sort.Slice(ordered, func(i, j int) bool {
-		di := f.serverByID(ordered[i]).Demand()
-		dj := f.serverByID(ordered[j]).Demand()
+		di := f.ServerByID(ordered[i]).Demand()
+		dj := f.ServerByID(ordered[j]).Demand()
 		if di != dj {
 			return di > dj
 		}
@@ -206,15 +282,28 @@ func (f *Fabric) AssignSplit(ids []int, ratio float64) {
 	}
 }
 
-// DemandBySource aggregates instantaneous demand per relay position.
-func (f *Fabric) DemandBySource() map[Source]units.Power {
-	out := map[Source]units.Power{}
-	for _, s := range f.servers {
-		src := f.assign[s.ID()]
-		if src == SourceOff {
-			continue
+// DemandPerSource aggregates instantaneous demand per relay position into
+// an array indexed by Source. It performs no allocation; the engine calls
+// it on every mismatch tick. Shed servers contribute nothing (the
+// SourceOff entry stays zero).
+func (f *Fabric) DemandPerSource() (out [NumSources]units.Power) {
+	for i, s := range f.servers {
+		if src := f.assign[i]; src != SourceOff {
+			out[src] += s.Demand()
 		}
-		out[src] += s.Demand()
+	}
+	return out
+}
+
+// DemandBySource aggregates instantaneous demand per relay position.
+// Allocation-averse callers should prefer DemandPerSource.
+func (f *Fabric) DemandBySource() map[Source]units.Power {
+	per := f.DemandPerSource()
+	out := map[Source]units.Power{}
+	for src, d := range per {
+		if d != 0 {
+			out[Source(src)] = d
+		}
 	}
 	return out
 }
@@ -222,20 +311,44 @@ func (f *Fabric) DemandBySource() map[Source]units.Power {
 // TotalDemand is the aggregate draw of all powered servers.
 func (f *Fabric) TotalDemand() units.Power {
 	var p units.Power
-	for _, s := range f.servers {
-		if f.assign[s.ID()] != SourceOff {
+	for i, s := range f.servers {
+		if f.assign[i] != SourceOff {
 			p += s.Demand()
 		}
 	}
 	return p
 }
 
+// NumOffline returns how many servers are currently shed.
+func (f *Fabric) NumOffline() int { return f.offline }
+
+// FirstOffline returns the lowest shed server id, or ok=false when every
+// server is powered. It allocates nothing.
+func (f *Fabric) FirstOffline() (id int, ok bool) {
+	if f.offline == 0 {
+		return 0, false
+	}
+	best, found := 0, false
+	for i, s := range f.servers {
+		if f.assign[i] != SourceOff {
+			continue
+		}
+		if !found || s.ID() < best {
+			best, found = s.ID(), true
+		}
+	}
+	return best, found
+}
+
 // OfflineServers returns the ids currently shed, sorted ascending.
 func (f *Fabric) OfflineServers() []int {
-	var ids []int
-	for id, src := range f.assign {
-		if src == SourceOff {
-			ids = append(ids, id)
+	if f.offline == 0 {
+		return nil
+	}
+	ids := make([]int, 0, f.offline)
+	for i, s := range f.servers {
+		if f.assign[i] == SourceOff {
+			ids = append(ids, s.ID())
 		}
 	}
 	sort.Ints(ids)
@@ -245,56 +358,79 @@ func (f *Fabric) OfflineServers() []int {
 // Touch records that server id did useful work at simulation time now;
 // the LRU shedding order uses these stamps.
 func (f *Fabric) Touch(id int, now time.Duration) {
-	f.lastUse[id] = now
+	if i := f.idx(id); i >= 0 {
+		f.lastUse[i] = now
+	}
+}
+
+// lruSorter sorts server ids least-recently-used first. It lives on the
+// Fabric so repeated LRU sorts reuse one sort.Interface value instead of
+// allocating a closure per call.
+type lruSorter struct {
+	ids []int
+	f   *Fabric
+}
+
+func (s *lruSorter) Len() int      { return len(s.ids) }
+func (s *lruSorter) Swap(i, j int) { s.ids[i], s.ids[j] = s.ids[j], s.ids[i] }
+func (s *lruSorter) Less(i, j int) bool {
+	ti := s.f.lastUse[s.f.idx(s.ids[i])]
+	tj := s.f.lastUse[s.f.idx(s.ids[j])]
+	if ti != tj {
+		return ti < tj
+	}
+	return s.ids[i] < s.ids[j]
+}
+
+// LRUOrderInto fills buf with all server ids sorted least-recently-used
+// first and returns it, growing buf only when its capacity is short. It is
+// the allocation-free form of LRUOrder for per-tick callers.
+func (f *Fabric) LRUOrderInto(buf []int) []int {
+	buf = buf[:0]
+	for _, s := range f.servers {
+		buf = append(buf, s.ID())
+	}
+	f.lru.ids = buf
+	sort.Sort(&f.lru)
+	f.lru.ids = nil
+	return buf
 }
 
 // LRUOrder returns all server ids sorted least-recently-used first —
 // the order in which the controller sheds servers when the buffers run
 // dry ("We chose the least recently used servers to shut down", §7.2).
 func (f *Fabric) LRUOrder() []int {
-	ids := make([]int, 0, len(f.servers))
-	for _, s := range f.servers {
-		ids = append(ids, s.ID())
-	}
-	sort.Slice(ids, func(i, j int) bool {
-		ti, tj := f.lastUse[ids[i]], f.lastUse[ids[j]]
-		if ti != tj {
-			return ti < tj
+	return f.LRUOrderInto(make([]int, 0, len(f.servers)))
+}
+
+// MeterStepPools records dt worth of energy flows at the present
+// assignment and demand, given the power each storage pool actually
+// delivered (after depletion); the difference between a pool's aggregate
+// demand and its delivered share counts as unserved energy. This is the
+// allocation-free form of MeterStep.
+func (f *Fabric) MeterStepPools(dt time.Duration, servedBA, servedSC units.Power) {
+	demand := f.DemandPerSource()
+	f.meter.Utility += demand[SourceUtility].Over(dt)
+
+	pool := func(served, want units.Power) (credited units.Power) {
+		if served > want {
+			served = want
 		}
-		return ids[i] < ids[j]
-	})
-	return ids
+		if want > served {
+			f.meter.Unserved += (want - served).Over(dt)
+		}
+		return served
+	}
+	f.meter.Battery += pool(servedBA, demand[SourceBattery]).Over(dt)
+	f.meter.Supercap += pool(servedSC, demand[SourceSupercap]).Over(dt)
+	f.meter.DowntimeServerSeconds += float64(f.offline) * dt.Seconds()
 }
 
 // MeterStep records dt worth of energy flows at the present assignment
 // and demand. served maps each storage source to the power actually
-// delivered (after depletion); the difference between a server's demand
-// and its delivered share counts as unserved energy.
+// delivered; see MeterStepPools for the map-free form.
 func (f *Fabric) MeterStep(dt time.Duration, served map[Source]units.Power) {
-	demand := f.DemandBySource()
-	f.meter.Utility += demand[SourceUtility].Over(dt)
-
-	for _, src := range []Source{SourceBattery, SourceSupercap} {
-		want := demand[src]
-		got := served[src]
-		if got > want {
-			got = want
-		}
-		switch src {
-		case SourceBattery:
-			f.meter.Battery += got.Over(dt)
-		case SourceSupercap:
-			f.meter.Supercap += got.Over(dt)
-		}
-		if want > got {
-			f.meter.Unserved += (want - got).Over(dt)
-		}
-	}
-	for _, s := range f.servers {
-		if f.assign[s.ID()] == SourceOff {
-			f.meter.DowntimeServerSeconds += dt.Seconds()
-		}
-	}
+	f.MeterStepPools(dt, served[SourceBattery], served[SourceSupercap])
 }
 
 // Meter returns the cumulative IPDU meter readings.
@@ -302,12 +438,3 @@ func (f *Fabric) Meter() Meter { return f.meter }
 
 // ResetMeter clears the meter.
 func (f *Fabric) ResetMeter() { f.meter = Meter{} }
-
-func (f *Fabric) serverByID(id int) *Server {
-	for _, s := range f.servers {
-		if s.ID() == id {
-			return s
-		}
-	}
-	return nil
-}

@@ -90,7 +90,11 @@ type Config struct {
 
 	// Observer, when set, receives a StepInfo after every engine tick —
 	// the hook the telemetry monitor (prototype item 5, "system
-	// real-time running state monitoring") attaches to.
+	// real-time running state monitoring") attaches to. The engine calls
+	// it synchronously from whichever goroutine is executing Run, never
+	// from any other goroutine, so an observer used by a single run needs
+	// no locking; an observer shared between concurrent runs (e.g. cells
+	// of a parallel sweep) must synchronize itself.
 	Observer func(StepInfo)
 
 	// DVFSCapping enables the performance-scaling baseline the paper
@@ -199,6 +203,34 @@ type Engine struct {
 	slotValleys          []float64
 	shedEvents           int
 	mismatchSteps, steps int
+
+	// Reusable hot-loop scratch, all sized to the server count and keyed
+	// by the server's fabric position (see Fabric.IndexOf): the mismatch
+	// path runs every tick of a peak and must not allocate per tick.
+	demandByIdx     []units.Power // per-tick demand snapshot
+	keepScratch     []bool        // selectOverload keep set
+	overloadScratch []int         // selectOverload result
+	orderScratch    []int         // applyDecision demand-sorted ids
+	lruScratch      []int         // LRU id buffer for select/shed
+	ovSorter        overloadSorter
+}
+
+// overloadSorter orders server ids by descending demand (id ascending on
+// ties). It lives on the Engine so every mismatch tick reuses one
+// sort.Interface value instead of allocating a sort.Slice closure.
+type overloadSorter struct {
+	ids []int
+	e   *Engine
+}
+
+func (s *overloadSorter) Len() int      { return len(s.ids) }
+func (s *overloadSorter) Swap(i, j int) { s.ids[i], s.ids[j] = s.ids[j], s.ids[i] }
+func (s *overloadSorter) Less(i, j int) bool {
+	di, dj := s.e.serverDemand(s.ids[i]), s.e.serverDemand(s.ids[j])
+	if di != dj {
+		return di > dj
+	}
+	return s.ids[i] < s.ids[j]
 }
 
 // New builds an engine; defaults are applied before validation.
@@ -215,12 +247,19 @@ func New(cfg Config) (*Engine, error) {
 	for _, s := range cfg.Servers {
 		peak += s.PeakDemand()
 	}
+	n := len(cfg.Servers)
 	e := &Engine{
-		cfg:           cfg,
-		fabric:        fabric,
-		dischargeConv: cfg.Topology.DischargeConverter(peak),
-		utilityConv:   cfg.Topology.UtilityConverter(peak),
+		cfg:             cfg,
+		fabric:          fabric,
+		dischargeConv:   cfg.Topology.DischargeConverter(peak),
+		utilityConv:     cfg.Topology.UtilityConverter(peak),
+		demandByIdx:     make([]units.Power, n),
+		keepScratch:     make([]bool, n),
+		overloadScratch: make([]int, 0, n),
+		orderScratch:    make([]int, 0, n),
+		lruScratch:      make([]int, 0, n),
 	}
+	e.ovSorter.e = e
 	return e, nil
 }
 
@@ -245,6 +284,12 @@ func (e *Engine) Run() Result {
 	if slotSteps < 1 {
 		slotSteps = 1
 	}
+	// Size the metric series up front: appending one sample per tick to a
+	// growing slice would re-copy the whole history log2(steps) times.
+	e.demandSeries = make([]float64, 0, steps)
+	nSlots := steps/slotSteps + 1
+	e.slotPeaks = make([]float64, 0, nSlots)
+	e.slotValleys = make([]float64, 0, nSlots)
 
 	e.planSlot()
 	for i := 0; i < steps; i++ {
@@ -447,7 +492,7 @@ func (e *Engine) stepSurplus(now time.Duration, demand, supply, effSupply units.
 	if drawn > e.utilityPeak {
 		e.utilityPeak = drawn
 	}
-	e.fabric.MeterStep(dt, nil)
+	e.fabric.MeterStepPools(dt, 0, 0)
 }
 
 // charge distributes surplus watts into the pools per the priority and
@@ -498,6 +543,7 @@ func (e *Engine) charge(surplus units.Power, dt time.Duration) units.Power {
 func (e *Engine) stepMismatch(now time.Duration, demand, supply, effSupply units.Power, dt time.Duration) {
 	cfg := e.cfg
 	e.mismatchSteps++
+	e.snapshotDemand()
 
 	// Select which servers stay on utility: fill the budget greedily in
 	// LRU-most-recent order so hot servers keep grid power and the
@@ -505,7 +551,7 @@ func (e *Engine) stepMismatch(now time.Duration, demand, supply, effSupply units
 	overload := e.selectOverload(effSupply)
 	e.applyDecision(overload)
 
-	perSource := e.fabric.DemandBySource()
+	perSource := e.fabric.DemandPerSource()
 	utilityLoad := perSource[power.SourceUtility]
 
 	needBA := perSource[power.SourceBattery]
@@ -564,20 +610,20 @@ func (e *Engine) stepMismatch(now time.Duration, demand, supply, effSupply units
 		e.renewSpilled += (supply - drawnInput).Over(dt)
 	}
 
-	e.fabric.MeterStep(dt, map[power.Source]units.Power{
-		power.SourceBattery:  servedBA,
-		power.SourceSupercap: servedSC,
-	})
+	e.fabric.MeterStepPools(dt, servedBA, servedSC)
 }
 
 // selectOverload returns the server ids that must leave utility power so
 // the remainder fits under effSupply. Most-recently-used servers keep
 // utility power; the overload set is returned most-demanding first.
 func (e *Engine) selectOverload(effSupply units.Power) []int {
-	order := e.fabric.LRUOrder() // least-recent first
-	// Walk from most-recent (end) filling the budget.
+	order := e.fabric.LRUOrderInto(e.lruScratch) // least-recent first
+	e.lruScratch = order
+	// Walk from most-recent (end) filling the budget. The keep set is a
+	// reusable per-position bitmap, not a per-tick map.
 	var keep units.Power
-	keepSet := make(map[int]bool, len(order))
+	kept := e.keepScratch
+	clear(kept)
 	for i := len(order) - 1; i >= 0; i-- {
 		id := order[i]
 		if e.fabric.SourceOf(id) == power.SourceOff {
@@ -586,30 +632,42 @@ func (e *Engine) selectOverload(effSupply units.Power) []int {
 		d := e.serverDemand(id)
 		if keep+d <= effSupply {
 			keep += d
-			keepSet[id] = true
+			kept[e.fabric.IndexOf(id)] = true
 		}
 	}
-	var overload []int
+	overload := e.overloadScratch[:0]
 	for _, id := range order {
-		if e.fabric.SourceOf(id) == power.SourceOff || keepSet[id] {
+		if e.fabric.SourceOf(id) == power.SourceOff || kept[e.fabric.IndexOf(id)] {
 			continue
 		}
 		overload = append(overload, id)
 	}
-	// Put the kept servers on utility.
-	for id := range keepSet {
-		if e.fabric.SourceOf(id) != power.SourceUtility {
+	e.overloadScratch = overload
+	// Put the kept servers on utility (iterating the LRU order keeps the
+	// relay switches in a deterministic sequence; they are independent).
+	for _, id := range order {
+		if kept[e.fabric.IndexOf(id)] && e.fabric.SourceOf(id) != power.SourceUtility {
 			_ = e.fabric.Assign(id, power.SourceUtility)
 		}
 	}
 	return overload
 }
 
+// snapshotDemand caches every server's instantaneous draw for the current
+// tick. Utilization and frequency are fixed for the rest of the tick, so
+// selectOverload/applyDecision/shed read the snapshot instead of
+// re-evaluating the power model on every comparison.
+func (e *Engine) snapshotDemand() {
+	for i, s := range e.cfg.Servers {
+		e.demandByIdx[i] = s.Demand()
+	}
+}
+
+// serverDemand returns the snapshotted draw of server id; only valid
+// within a mismatch tick, after snapshotDemand has run.
 func (e *Engine) serverDemand(id int) units.Power {
-	for _, s := range e.cfg.Servers {
-		if s.ID() == id {
-			return s.Demand()
-		}
+	if i := e.fabric.IndexOf(id); i >= 0 {
+		return e.demandByIdx[i]
 	}
 	return 0
 }
@@ -632,14 +690,12 @@ func (e *Engine) applyDecision(overload []int) {
 		capSC = e.cfg.Supercap.MaxDischargePower() * 95 / 100
 	}
 	// Largest demands first, so big draws land where capacity exists.
-	ordered := append([]int(nil), overload...)
-	sort.Slice(ordered, func(i, j int) bool {
-		di, dj := e.serverDemand(ordered[i]), e.serverDemand(ordered[j])
-		if di != dj {
-			return di > dj
-		}
-		return ordered[i] < ordered[j]
-	})
+	// The scratch copy and persistent sorter keep this allocation-free.
+	ordered := append(e.orderScratch[:0], overload...)
+	e.orderScratch = ordered
+	e.ovSorter.ids = ordered
+	sort.Sort(&e.ovSorter)
+	e.ovSorter.ids = nil
 	assignUpTo := func(ids []int, first, second power.Source, capFirst, capSecond units.Power) {
 		for _, id := range ids {
 			d := e.serverDemand(id)
@@ -732,7 +788,9 @@ func (e *Engine) discharge(needBA, needSC units.Power, dt time.Duration) (served
 // shed powers off least-recently-used servers on the starved pools until
 // the uncovered shortfall is gone.
 func (e *Engine) shed(shortBA, shortSC units.Power) {
-	for _, id := range e.fabric.LRUOrder() {
+	order := e.fabric.LRUOrderInto(e.lruScratch)
+	e.lruScratch = order
+	for _, id := range order {
 		if shortBA <= 0.5 && shortSC <= 0.5 {
 			return
 		}
@@ -764,8 +822,8 @@ const restartHoldoff = 60 * time.Second
 // (the controller reconnects shed servers to whichever source can carry
 // them).
 func (e *Engine) maybeRestart(now time.Duration, supply units.Power) {
-	off := e.fabric.OfflineServers()
-	if len(off) == 0 {
+	id, anyOff := e.fabric.FirstOffline()
+	if !anyOff {
 		return
 	}
 	if e.hasShed && now-e.lastShed < restartHoldoff {
@@ -773,13 +831,9 @@ func (e *Engine) maybeRestart(now time.Duration, supply units.Power) {
 	}
 	effSupply := e.utilityConv.OutputFor(supply)
 	demand := e.fabric.TotalDemand()
-	id := off[0]
 	var idle units.Power
-	for _, s := range e.cfg.Servers {
-		if s.ID() == id {
-			idle = s.Config().IdlePower
-			break
-		}
+	if s := e.fabric.ServerByID(id); s != nil {
+		idle = s.Config().IdlePower
 	}
 	// Storage can back the restart too, at a conservative discount on
 	// its instantaneous capability.

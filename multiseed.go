@@ -1,11 +1,14 @@
 package heb
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"time"
 
+	"heb/internal/runner"
+	"heb/internal/sim"
 	"heb/internal/stats"
 )
 
@@ -28,10 +31,16 @@ type MultiSeedOptions struct {
 	Workload string
 	// Schemes defaults to BaOnly, SCFirst, HEB-D.
 	Schemes []SchemeID
+	// Workers bounds the sweep's worker pool (<= 0 means GOMAXPROCS).
+	// The seed × scheme grid is embarrassingly parallel; results are
+	// accumulated in grid order, so summaries are bit-for-bit identical
+	// for any worker count.
+	Workers int
 }
 
 // MultiSeedComparison reruns the scheme comparison across seeds and
 // summarizes each metric with mean, spread and 95% confidence interval.
+// The seed × scheme grid runs on the shared bounded worker pool.
 func MultiSeedComparison(p Prototype, opts MultiSeedOptions) ([]MultiSeedResult, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -52,29 +61,42 @@ func MultiSeedComparison(p Prototype, opts MultiSeedOptions) ([]MultiSeedResult,
 		opts.Schemes = []SchemeID{BaOnly, SCFirst, HEBD}
 	}
 
+	// Flatten the seed-major grid; cell i = (seed i/len(schemes),
+	// scheme i%len(schemes)). Each cell derives its own prototype seed,
+	// so cells are independent and order-free; the runner returns them
+	// in grid order for deterministic accumulation below.
+	nSchemes := len(opts.Schemes)
+	cells := opts.Seeds * nSchemes
+	results, err := runner.Map(context.Background(), cells, opts.Workers,
+		func(_ context.Context, i int) (sim.Result, error) {
+			s, id := i/nSchemes, opts.Schemes[i%nSchemes]
+			pp := p
+			pp.Seed = p.Seed + int64(s)*7919
+			w, err := WorkloadNamed(opts.Workload)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			w = w.WithDuration(opts.Duration)
+			res, err := pp.Run(id, w, RunOptions{Duration: opts.Duration})
+			if err != nil {
+				return sim.Result{}, fmt.Errorf("heb: seed %d scheme %v: %w", s, id, err)
+			}
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	type acc struct{ ee, down, life *stats.Sample }
 	samples := map[SchemeID]acc{}
 	for _, id := range opts.Schemes {
 		samples[id] = acc{stats.New(), stats.New(), stats.New()}
 	}
-	for s := 0; s < opts.Seeds; s++ {
-		pp := p
-		pp.Seed = p.Seed + int64(s)*7919
-		w, err := WorkloadNamed(opts.Workload)
-		if err != nil {
-			return nil, err
-		}
-		w = w.WithDuration(opts.Duration)
-		for _, id := range opts.Schemes {
-			res, err := pp.Run(id, w, RunOptions{Duration: opts.Duration})
-			if err != nil {
-				return nil, fmt.Errorf("heb: seed %d scheme %v: %w", s, id, err)
-			}
-			a := samples[id]
-			a.ee.Add(res.EnergyEfficiency)
-			a.down.Add(res.DowntimeServerSeconds)
-			a.life.Add(res.BatteryLifetimeYears)
-		}
+	for i, res := range results {
+		a := samples[opts.Schemes[i%nSchemes]]
+		a.ee.Add(res.EnergyEfficiency)
+		a.down.Add(res.DowntimeServerSeconds)
+		a.life.Add(res.BatteryLifetimeYears)
 	}
 
 	out := make([]MultiSeedResult, 0, len(opts.Schemes))

@@ -1,10 +1,12 @@
 package heb
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
+	"heb/internal/runner"
 	"heb/internal/units"
 )
 
@@ -16,8 +18,14 @@ type ScalePoint struct {
 	EnergyEfficiency      float64
 	DowntimeServerSeconds float64
 	DowntimeFraction      float64
-	WallClock             time.Duration
-	SimStepsPerSecond     float64
+	// WallClock is the wall time of the engine's Run alone: the workload
+	// trace is synthesized (and memoized) before the clock starts, so
+	// trace-regeneration cost cannot pollute the throughput number.
+	WallClock time.Duration
+	// SimStepsPerSecond is engine ticks per wall-clock second for this
+	// factor, measured around Run only (see WallClock). It is the
+	// simulator-throughput headline of the study.
+	SimStepsPerSecond float64
 }
 
 // ScaleOutStudy grows the prototype by integer factors — servers, budget
@@ -25,7 +33,9 @@ type ScalePoint struct {
 // claims the distributed, reconfigurable architecture "is easy to scale
 // out and configure"; the study checks that the per-server outcomes stay
 // flat as the cluster grows, and doubles as a simulator throughput
-// benchmark.
+// benchmark. The factors run through the shared sweep runner pinned to
+// one worker: runs execute sequentially so each SimStepsPerSecond
+// measures an uncontended engine, not co-scheduled neighbours.
 func ScaleOutStudy(p Prototype, factors []int, duration time.Duration) ([]ScalePoint, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -36,43 +46,51 @@ func ScaleOutStudy(p Prototype, factors []int, duration time.Duration) ([]ScaleP
 	if duration <= 0 {
 		return nil, fmt.Errorf("heb: duration %v must be positive", duration)
 	}
-	out := make([]ScalePoint, 0, len(factors))
 	for _, f := range factors {
 		if f <= 0 {
 			return nil, fmt.Errorf("heb: scale factor %d must be positive", f)
 		}
-		pp := p
-		pp.NumServers = p.NumServers * f
-		pp.Budget = units.Power(float64(p.Budget) * float64(f))
-		pp.StorageWh = p.StorageWh * float64(f)
-		pp.BatteryStrings = p.BatteryStrings * f
-		pp.SCBanks = p.SCBanks * f
-
-		w, err := WorkloadNamed("PR")
-		if err != nil {
-			return nil, err
-		}
-		start := time.Now()
-		res, err := pp.Run(HEBD, w.WithDuration(duration), RunOptions{Duration: duration})
-		if err != nil {
-			return nil, fmt.Errorf("heb: scale factor %d: %w", f, err)
-		}
-		elapsed := time.Since(start)
-		pt := ScalePoint{
-			Servers:               pp.NumServers,
-			BudgetW:               float64(pp.Budget),
-			StorageWh:             pp.StorageWh,
-			EnergyEfficiency:      res.EnergyEfficiency,
-			DowntimeServerSeconds: res.DowntimeServerSeconds,
-			DowntimeFraction:      res.DowntimeFraction,
-			WallClock:             elapsed,
-		}
-		if secs := elapsed.Seconds(); secs > 0 {
-			pt.SimStepsPerSecond = float64(res.Steps) / secs
-		}
-		out = append(out, pt)
 	}
-	return out, nil
+	return runner.Map(context.Background(), len(factors), 1,
+		func(_ context.Context, i int) (ScalePoint, error) {
+			f := factors[i]
+			pp := p
+			pp.NumServers = p.NumServers * f
+			pp.Budget = units.Power(float64(p.Budget) * float64(f))
+			pp.StorageWh = p.StorageWh * float64(f)
+			pp.BatteryStrings = p.BatteryStrings * f
+			pp.SCBanks = p.SCBanks * f
+
+			w, err := WorkloadNamed("PR")
+			if err != nil {
+				return ScalePoint{}, err
+			}
+			w = w.WithDuration(duration)
+			// Synthesize (and memoize) the trace before starting the
+			// clock; Run's own lookup then hits the cache.
+			if _, err := w.Trace(pp); err != nil {
+				return ScalePoint{}, fmt.Errorf("heb: scale factor %d: %w", f, err)
+			}
+			start := time.Now()
+			res, err := pp.Run(HEBD, w, RunOptions{Duration: duration})
+			if err != nil {
+				return ScalePoint{}, fmt.Errorf("heb: scale factor %d: %w", f, err)
+			}
+			elapsed := time.Since(start)
+			pt := ScalePoint{
+				Servers:               pp.NumServers,
+				BudgetW:               float64(pp.Budget),
+				StorageWh:             pp.StorageWh,
+				EnergyEfficiency:      res.EnergyEfficiency,
+				DowntimeServerSeconds: res.DowntimeServerSeconds,
+				DowntimeFraction:      res.DowntimeFraction,
+				WallClock:             elapsed,
+			}
+			if secs := elapsed.Seconds(); secs > 0 {
+				pt.SimStepsPerSecond = float64(res.Steps) / secs
+			}
+			return pt, nil
+		})
 }
 
 // WriteScaleOut renders the study.

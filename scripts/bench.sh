@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# bench.sh — sweep and engine benchmarks, reported as BENCH_sweep.json.
+#
+# Runs the multi-seed sweep sequential/parallel pair plus the raw engine
+# throughput benchmark with allocation tracking, and emits one JSON
+# object per benchmark with ns/op, allocs/op, B/op and simSteps/s. The
+# Sequential/Parallel pair is the wall-clock headline for the shared
+# runner (internal/runner); the speedup needs GOMAXPROCS >= 4 to show.
+#
+# Usage: scripts/bench.sh [output.json]   (default BENCH_sweep.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_sweep.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkMultiSeedSequential|BenchmarkMultiSeedParallel|BenchmarkEngineStep' \
+	-benchmem -count=1 . | tee "$raw"
+
+awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = allocs = bytes = steps = "null"
+	for (i = 2; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns = $i
+		else if ($(i + 1) == "allocs/op") allocs = $i
+		else if ($(i + 1) == "B/op") bytes = $i
+		else if ($(i + 1) == "simSteps/s") steps = $i
+	}
+	printf "%s{\"name\":\"%s\",\"ns_per_op\":%s,\"allocs_per_op\":%s,\"bytes_per_op\":%s,\"sim_steps_per_second\":%s}", sep, name, ns, allocs, bytes, steps
+	sep = ",\n  "
+}
+BEGIN { printf "{\"benchmarks\": [\n  " }
+END { printf "\n]}\n" }
+' "$raw" >"$out"
+
+echo "wrote $out"

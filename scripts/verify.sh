@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# verify.sh — the repo's verification tiers.
+#
+# Tier 1 (the CI gate): build + full test suite.
+# Tier 2: static analysis and the race detector across every package,
+# which exercises the parallel sweep runner under contention.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: go build + go test =="
+go build ./...
+go test ./...
+
+echo "== tier 2: go vet + go test -race =="
+go vet ./...
+go test -race ./...
+
+echo "verify: OK"

@@ -1,0 +1,115 @@
+package heb
+
+import (
+	"sync"
+	"time"
+
+	"heb/internal/trace"
+	"heb/internal/workload"
+)
+
+// The experiment sweeps run N schemes × M workloads grids in which every
+// scheme cell replays the *same* synthetic trace: trace content depends
+// only on (spec, seed, server count, duration, sample step), never on
+// the scheme. Without memoization a six-scheme Figure 12 grid
+// synthesizes each workload six times over. The cache below generates
+// each distinct trace exactly once — also under concurrent access from
+// the parallel sweep runner — and hands the same read-only *trace.Trace
+// to every run. The engine only ever reads traces (Trace.At), so
+// sharing one instance across concurrent engines is safe.
+
+// traceKey identifies one distinct synthetic trace. The full Spec value
+// participates (not just its name) so a caller-customized spec that
+// shares an abbreviation with a catalog entry cannot collide with it.
+type traceKey struct {
+	spec     workload.Spec
+	seed     int64
+	servers  int
+	duration time.Duration
+	step     time.Duration
+}
+
+// traceEntry carries one generation, performed exactly once; concurrent
+// requesters for the same key block on the first generation instead of
+// duplicating it.
+type traceEntry struct {
+	once sync.Once
+	tr   *trace.Trace
+	err  error
+}
+
+// traceCacheLimit bounds the cache; sweeps touch at most
+// schemes × workloads × seeds × scales distinct keys, and entries are a
+// few hundred KB each, so a small bound suffices. Eviction is FIFO:
+// in-flight holders keep their entry pointer, so eviction only forgets,
+// never invalidates.
+const traceCacheLimit = 128
+
+type traceCache struct {
+	mu      sync.Mutex
+	entries map[traceKey]*traceEntry
+	order   []traceKey // insertion order, for FIFO eviction
+
+	hits, misses int // instrumentation (see TraceCacheStats)
+}
+
+var sharedTraceCache = &traceCache{}
+
+// get returns the memoized trace for key, generating it via gen on first
+// use. Errors are memoized too: a spec that cannot generate keeps
+// failing identically instead of retrying per cell.
+func (c *traceCache) get(key traceKey, gen func() (*trace.Trace, error)) (*trace.Trace, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		if c.entries == nil {
+			c.entries = make(map[traceKey]*traceEntry)
+		}
+		if len(c.order) >= traceCacheLimit {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			delete(c.entries, oldest)
+		}
+		e = &traceEntry{}
+		c.entries[key] = e
+		c.order = append(c.order, key)
+		c.misses++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() { e.tr, e.err = gen() })
+	return e.tr, e.err
+}
+
+// stats returns cumulative hit/miss counts.
+func (c *traceCache) stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// reset drops all entries and counters (tests).
+func (c *traceCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = nil
+	c.order = nil
+	c.hits, c.misses = 0, 0
+}
+
+// TraceCacheStats reports cumulative hit/miss counts of the shared
+// workload-trace memoization layer — a cheap way to verify that a sweep
+// synthesized each distinct trace once.
+func TraceCacheStats() (hits, misses int) {
+	return sharedTraceCache.stats()
+}
+
+// ResetTraceCache drops every memoized trace. Long-lived processes that
+// sweep many distinct (seed, duration, scale) combinations can call it
+// between studies to release memory early; the FIFO bound caps growth
+// regardless.
+func ResetTraceCache() {
+	sharedTraceCache.reset()
+}

@@ -1,0 +1,164 @@
+package heb
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"heb/internal/trace"
+)
+
+// TestTraceMemoizationSharesOneGeneration verifies the sweep-critical
+// property: N runs of the same (workload, seed, servers, duration)
+// synthesize one trace and share the pointer.
+func TestTraceMemoizationSharesOneGeneration(t *testing.T) {
+	ResetTraceCache()
+	defer ResetTraceCache()
+	p := DefaultPrototype()
+	w, err := WorkloadNamed("PR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w.WithDuration(time.Hour)
+
+	first, err := w.Trace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		tr, err := w.Trace(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr != first {
+			t.Fatal("repeated Trace() returned a distinct instance; memoization broken")
+		}
+	}
+	hits, misses := TraceCacheStats()
+	if misses != 1 || hits != 5 {
+		t.Fatalf("hits/misses = %d/%d, want 5/1", hits, misses)
+	}
+}
+
+// TestTraceMemoizationKeySeparation checks that every key component
+// participates: changing seed, server count or duration must generate a
+// fresh trace rather than returning a stale one.
+func TestTraceMemoizationKeySeparation(t *testing.T) {
+	ResetTraceCache()
+	defer ResetTraceCache()
+	p := DefaultPrototype()
+	w, err := WorkloadNamed("WC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w.WithDuration(time.Hour)
+
+	base, err := w.Trace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := p
+	p2.Seed = p.Seed + 1
+	other, err := w.Trace(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == base {
+		t.Fatal("different seed returned the memoized trace")
+	}
+
+	p3 := p
+	p3.NumServers = p.NumServers * 2
+	wider, err := w.Trace(p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wider.Servers() != p3.NumServers {
+		t.Fatalf("got %d servers, want %d", wider.Servers(), p3.NumServers)
+	}
+
+	longer, err := w.WithDuration(2 * time.Hour).Trace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if longer == base {
+		t.Fatal("different duration returned the memoized trace")
+	}
+
+	if _, misses := TraceCacheStats(); misses != 4 {
+		t.Fatalf("misses = %d, want 4 distinct generations", misses)
+	}
+}
+
+// TestTraceMemoizationConcurrent hammers one key from many goroutines;
+// under -race this exercises the cache's locking, and the singleflight
+// semantics must still produce exactly one generation.
+func TestTraceMemoizationConcurrent(t *testing.T) {
+	ResetTraceCache()
+	defer ResetTraceCache()
+	p := DefaultPrototype()
+	w, err := WorkloadNamed("DA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w.WithDuration(30 * time.Minute)
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	traces := make([]interface{}, goroutines)
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			tr, err := w.Trace(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			traces[g] = tr
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if traces[g] != traces[0] {
+			t.Fatal("concurrent requesters got distinct trace instances")
+		}
+	}
+	if _, misses := TraceCacheStats(); misses != 1 {
+		t.Fatalf("misses = %d, want 1 (single generation under contention)", misses)
+	}
+}
+
+// TestTraceCacheEviction checks the FIFO bound: the cache never holds
+// more than traceCacheLimit entries, and evicted keys simply regenerate.
+func TestTraceCacheEviction(t *testing.T) {
+	c := &traceCache{}
+	made := 0
+	for i := 0; i < traceCacheLimit+10; i++ {
+		key := traceKey{seed: int64(i)}
+		if _, err := c.get(key, func() (*trace.Trace, error) {
+			made++
+			return nil, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if made != traceCacheLimit+10 {
+		t.Fatalf("generated %d, want %d", made, traceCacheLimit+10)
+	}
+	if len(c.entries) > traceCacheLimit {
+		t.Fatalf("cache holds %d entries, bound is %d", len(c.entries), traceCacheLimit)
+	}
+	// The oldest keys were evicted; requesting one regenerates.
+	before := made
+	if _, err := c.get(traceKey{seed: 0}, func() (*trace.Trace, error) {
+		made++
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if made != before+1 {
+		t.Fatal("evicted key did not regenerate")
+	}
+}

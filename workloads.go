@@ -82,7 +82,17 @@ func (w Workload) Class() (workload.Class, bool) {
 	return w.spec.Class, true
 }
 
-// Trace materializes the utilization trace for the prototype.
+// traceGenStep is the sample grid workload traces are generated at.
+// Generating at a 10-second grid keeps memory modest; the engine's At()
+// lookup interpolates by zero-order hold at its own step.
+const traceGenStep = 10 * time.Second
+
+// Trace materializes the utilization trace for the prototype. Generated
+// traces are memoized in a shared concurrency-safe cache keyed on the
+// full spec plus (seed, server count, duration, step), so a sweep that
+// runs N schemes over the same workload synthesizes its trace once; the
+// returned trace is shared and must be treated as read-only (the engine
+// only reads it).
 func (w Workload) Trace(p Prototype) (*trace.Trace, error) {
 	if w.tr != nil {
 		if w.tr.Servers() != p.NumServers {
@@ -98,9 +108,10 @@ func (w Workload) Trace(p Prototype) (*trace.Trace, error) {
 	if d <= 0 {
 		d = 2 * time.Hour
 	}
-	// Generating at a 10-second grid keeps memory modest; the engine's
-	// At() lookup interpolates by zero-order hold at its own step.
-	return w.spec.Generate(p.Seed, p.NumServers, d, 10*time.Second)
+	key := traceKey{spec: *w.spec, seed: p.Seed, servers: p.NumServers, duration: d, step: traceGenStep}
+	return sharedTraceCache.get(key, func() (*trace.Trace, error) {
+		return w.spec.Generate(p.Seed, p.NumServers, d, traceGenStep)
+	})
 }
 
 // EvaluationWorkloads returns the eight Table 1 workloads wrapped for
