@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"heb/internal/esd"
+	"heb/internal/obs"
 	"heb/internal/pat"
 	"heb/internal/power"
 	"heb/internal/sim"
@@ -381,6 +382,47 @@ func BenchmarkEngineStep(b *testing.B) {
 	}
 	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "simSteps/s")
 }
+
+// benchEngineObs runs the HEB-D hour with the observability layer either
+// fully off (nil sinks — the allocation-free fast path every sweep takes
+// by default) or fully on (event log + decision trace). Comparing the
+// two allocs/op columns is the proof that the nil-sink guards keep the
+// hot loop unchanged: Disabled must match the pre-observability
+// BenchmarkEngineStep numbers.
+func benchEngineObs(b *testing.B, enabled bool) {
+	b.Helper()
+	p := DefaultPrototype()
+	pr, err := WorkloadNamed("PR")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the trace cache so per-iteration cost is pure simulation.
+	if _, err := pr.WithDuration(time.Hour).Trace(p); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	steps := 0
+	for i := 0; i < b.N; i++ {
+		opts := RunOptions{Duration: time.Hour}
+		if enabled {
+			log := obs.NewLog(0)
+			dl := obs.NewDecisionLog()
+			opts.Events = log
+			opts.DecisionTrace = dl.Append
+		}
+		res, err := p.Run(HEBD, pr.WithDuration(time.Hour), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += res.Steps
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "simSteps/s")
+}
+
+func BenchmarkEngineObsDisabled(b *testing.B) { benchEngineObs(b, false) }
+
+func BenchmarkEngineObsEnabled(b *testing.B) { benchEngineObs(b, true) }
 
 // benchMultiSeed measures the multi-seed sweep at a fixed worker count.
 // The seed × scheme grid is the repo's heaviest embarrassingly-parallel

@@ -4,7 +4,10 @@
 // The simulation is paced so that one simulated second takes
 // 1/speedup wall seconds; with the default speedup of 60 a 24-hour run
 // plays back in 24 minutes while /latest, /history and /summary serve
-// live state.
+// live state. /metrics exposes the engine's counters and gauges in
+// Prometheus text format and /debug/pprof/ serves the standard Go
+// profiles. SIGINT/SIGTERM shut the monitor down gracefully (in-flight
+// requests get up to 5 s to drain).
 //
 // Usage:
 //
@@ -12,16 +15,25 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"heb"
 	"heb/internal/sim"
 	"heb/internal/telemetry"
 )
+
+// shutdownGrace bounds how long in-flight HTTP requests may drain.
+const shutdownGrace = 5 * time.Second
 
 func main() {
 	var (
@@ -35,28 +47,48 @@ func main() {
 	)
 	flag.Parse()
 
-	id, err := schemeByName(*scheme)
-	if err != nil {
+	if err := run(*addr, *scheme, *wl, *duration, *speedup, *history, *exit); err != nil {
 		fmt.Fprintln(os.Stderr, "hebmon:", err)
 		os.Exit(1)
 	}
-	w, err := heb.WorkloadNamed(*wl)
+}
+
+func run(addr, scheme, wl string, duration time.Duration, speedup float64, history int, exitWhenDone bool) error {
+	id, err := schemeByName(scheme)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hebmon:", err)
-		os.Exit(1)
+		return err
+	}
+	w, err := heb.WorkloadNamed(wl)
+	if err != nil {
+		return err
 	}
 
-	rec := telemetry.MustNewRecorder(*history)
+	rec := telemetry.MustNewRecorder(history)
+	metrics := telemetry.NewMetrics(nil)
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           newMux(rec, metrics),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
 	go func() {
-		log.Printf("monitor listening on %s (endpoints: /healthz /latest /history /summary)", *addr)
-		if err := telemetry.Serve(*addr, rec); err != nil {
-			log.Fatalf("monitor: %v", err)
+		log.Printf("monitor listening on %s (endpoints: /healthz /latest /history /summary /curves /metrics /debug/pprof/)", addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			serveErr <- err
 		}
 	}()
 
-	observer := rec.Observer()
-	if *speedup > 0 {
-		pace := time.Duration(float64(time.Second) / *speedup)
+	recObserve := rec.Observer()
+	observer := func(s sim.StepInfo) {
+		recObserve(s)
+		metrics.Observe(s)
+	}
+	if speedup > 0 {
+		pace := time.Duration(float64(time.Second) / speedup)
 		inner := observer
 		observer = func(s sim.StepInfo) {
 			inner(s)
@@ -64,21 +96,61 @@ func main() {
 		}
 	}
 
-	p := heb.DefaultPrototype()
-	log.Printf("running %s on %s for %v (speedup %gx)", *scheme, *wl, *duration, *speedup)
-	res, err := p.Run(id, w.WithDuration(*duration), heb.RunOptions{
-		Duration: *duration,
-		Observer: observer,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "hebmon:", err)
-		os.Exit(1)
+	runDone := make(chan error, 1)
+	go func() {
+		p := heb.DefaultPrototype()
+		log.Printf("running %s on %s for %v (speedup %gx)", scheme, wl, duration, speedup)
+		res, err := p.Run(id, w.WithDuration(duration), heb.RunOptions{
+			Duration: duration,
+			Observer: observer,
+		})
+		if err == nil {
+			log.Printf("run complete: %s", res)
+		}
+		runDone <- err
+	}()
+
+	// Wait for a terminal condition, then drain the server gracefully.
+	var runErr error
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+		log.Printf("signal received; shutting down")
+	case runErr = <-runDone:
+		if runErr == nil && !exitWhenDone {
+			log.Printf("monitor stays up for inspection; Ctrl-C to quit")
+			select {
+			case <-ctx.Done():
+				log.Printf("signal received; shutting down")
+			case err := <-serveErr:
+				return err
+			}
+		}
 	}
-	log.Printf("run complete: %s", res)
-	if !*exit {
-		log.Printf("monitor stays up for inspection; Ctrl-C to quit")
-		select {}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
 	}
+	log.Printf("monitor stopped")
+	return runErr
+}
+
+// newMux composes the monitor API, the Prometheus exposition and the
+// standard pprof profiling endpoints on one private mux (nothing is
+// registered on http.DefaultServeMux).
+func newMux(rec *telemetry.Recorder, metrics *telemetry.Metrics) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/", rec.Handler())
+	mux.Handle("/metrics", metrics.Registry().Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 func schemeByName(name string) (heb.SchemeID, error) {

@@ -20,6 +20,7 @@ import (
 
 	"heb"
 	"heb/internal/ascii"
+	"heb/internal/obs"
 	"heb/internal/pat"
 	"heb/internal/runner"
 	"heb/internal/sim"
@@ -41,6 +42,7 @@ func main() {
 		patIn    = flag.String("pat-in", "", "warm-start HEB-S/HEB-D from a saved PAT (JSON)")
 		patOut   = flag.String("pat-out", "", "persist the learned PAT after -exp run (JSON)")
 		workers  = flag.Int("workers", 0, "worker pool size for sweeps and -exp all (0 = GOMAXPROCS)")
+		obsDir   = flag.String("obs", "", "write observability artifacts (events.jsonl, decisions.jsonl, metrics.prom) to this directory")
 	)
 	flag.Parse()
 
@@ -49,15 +51,25 @@ func main() {
 	if *budget > 0 {
 		p.Budget = units.Power(*budget)
 	}
-
-	if *exp == "run" {
-		if err := runOnce(os.Stdout, p, *duration, *scheme, *wlName, *wlCSV, *patIn, *patOut); err != nil {
-			fmt.Fprintln(os.Stderr, "hebsim:", err)
-			os.Exit(1)
-		}
-		return
+	var capture *obs.Capture
+	if *obsDir != "" {
+		capture = obs.NewCapture()
+		p.Capture = capture
 	}
-	if err := run(os.Stdout, *exp, p, *duration, units.Power(*load), *workers); err != nil {
+
+	var err error
+	if *exp == "run" {
+		err = runOnce(os.Stdout, p, *duration, *scheme, *wlName, *wlCSV, *patIn, *patOut)
+	} else {
+		err = run(os.Stdout, *exp, p, *duration, units.Power(*load), *workers)
+	}
+	if err == nil && capture != nil {
+		if err = capture.WriteFiles(*obsDir); err == nil {
+			fmt.Fprintf(os.Stderr, "hebsim: wrote observability artifacts for %d runs to %s\n",
+				len(capture.Runs()), *obsDir)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hebsim:", err)
 		os.Exit(1)
 	}
@@ -135,7 +147,29 @@ func runAll(w io.Writer, p heb.Prototype, duration time.Duration, load units.Pow
 		"fig13", "fig14", "fig15a", "fig15b", "fig15c",
 		"deploy", "ablation", "multiseed", "capping", "scale", "summary",
 	}
-	bufs, err := runner.Map(context.Background(), len(suite), workers,
+	// Live progress on stderr: the Progress observes the pool and each
+	// simulation run feeds its step count through Prototype.Progress, so
+	// the report shows queue depth, utilization and aggregate steps/s
+	// without perturbing the (deterministic) experiment output on stdout.
+	var prog runner.Progress
+	p.Progress = &prog
+	nworkers := runner.Workers(workers, len(suite))
+	stop := make(chan struct{})
+	reporterDone := make(chan struct{})
+	go func() {
+		defer close(reporterDone)
+		tick := time.NewTicker(2 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				fmt.Fprintf(os.Stderr, "hebsim: %s\n", progressLine(prog.Snapshot(), nworkers))
+			}
+		}
+	}()
+	bufs, err := runner.MapProgress(context.Background(), len(suite), workers, &prog,
 		func(_ context.Context, i int) (*bytes.Buffer, error) {
 			var buf bytes.Buffer
 			if err := run(&buf, suite[i], p, duration, load, 1); err != nil {
@@ -143,6 +177,9 @@ func runAll(w io.Writer, p heb.Prototype, duration time.Duration, load units.Pow
 			}
 			return &buf, nil
 		})
+	close(stop)
+	<-reporterDone
+	fmt.Fprintf(os.Stderr, "hebsim: %s\n", progressLine(prog.Snapshot(), nworkers))
 	// Print whatever completed, in suite order, before reporting the
 	// (lowest-index) error: partial output still helps diagnosis.
 	for i, buf := range bufs {
@@ -157,6 +194,25 @@ func runAll(w io.Writer, p heb.Prototype, duration time.Duration, load units.Pow
 		}
 	}
 	return err
+}
+
+// progressLine renders one human-readable sweep status line:
+// done/total cells, failures, queue depth, mean busy-worker fraction,
+// aggregate simulation steps/s and mean per-cell wall time.
+func progressLine(s runner.ProgressSnapshot, workers int) string {
+	line := fmt.Sprintf("%d/%d cells done", s.Done, s.Total)
+	if s.Failed > 0 {
+		line += fmt.Sprintf(" (%d failed)", s.Failed)
+	}
+	line += fmt.Sprintf(", %d active, %d queued, util %.0f%%",
+		s.Active, s.Queued, s.Utilization(workers)*100)
+	if s.Units > 0 {
+		line += fmt.Sprintf(", %.2fM steps/s", s.UnitsPerSecond()/1e6)
+	}
+	if s.Done > 0 {
+		line += fmt.Sprintf(", mean cell %.1fs", s.CellSeconds/float64(s.Done))
+	}
+	return line
 }
 
 // lowBudget is the deliberately lowered budget the paper uses to trigger

@@ -1,0 +1,73 @@
+// Command obscheck validates a directory of observability artifacts as
+// written by `hebsim -obs dir/` (or obs.Capture.WriteFiles): the two
+// JSONL files must parse through the obs package's own readers and the
+// Prometheus exposition must carry the engine counters. It prints a
+// one-line inventory and exits non-zero on any violation; verify.sh's
+// smoke tier drives it.
+//
+// Usage:
+//
+//	obscheck dir/
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"heb/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: obscheck dir/")
+		os.Exit(2)
+	}
+	events, decisions, promBytes, err := check(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obscheck:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("obscheck: %d events, %d decision records, %d bytes of metrics\n",
+		events, decisions, promBytes)
+}
+
+func check(dir string) (events, decisions, promBytes int, err error) {
+	ef, err := os.Open(filepath.Join(dir, "events.jsonl"))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer ef.Close()
+	evs, err := obs.ReadEvents(ef)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("events.jsonl: %w", err)
+	}
+	if len(evs) == 0 {
+		return 0, 0, 0, fmt.Errorf("events.jsonl holds no events")
+	}
+
+	df, err := os.Open(filepath.Join(dir, "decisions.jsonl"))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer df.Close()
+	recs, err := obs.ReadDecisions(df)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("decisions.jsonl: %w", err)
+	}
+	if len(recs) == 0 {
+		return 0, 0, 0, fmt.Errorf("decisions.jsonl holds no records")
+	}
+
+	prom, err := os.ReadFile(filepath.Join(dir, "metrics.prom"))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	for _, want := range []string{"heb_engine_steps_total", "heb_control_slots_total"} {
+		if !strings.Contains(string(prom), want) {
+			return 0, 0, 0, fmt.Errorf("metrics.prom missing %s", want)
+		}
+	}
+	return len(evs), len(recs), len(prom), nil
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"heb/internal/esd"
@@ -173,9 +174,17 @@ func (s SchemeResult) Mean(metric func(sim.Result) float64) float64 {
 	if len(s.Results) == 0 {
 		return 0
 	}
+	// Sum in sorted-key order: map iteration order is randomized and float
+	// addition is not associative, so the last bit of the mean would
+	// otherwise vary between calls within one process.
+	names := make([]string, 0, len(s.Results))
+	for name := range s.Results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var sum float64
-	for _, r := range s.Results {
-		sum += metric(r)
+	for _, name := range names {
+		sum += metric(s.Results[name])
 	}
 	return sum / float64(len(s.Results))
 }

@@ -407,3 +407,27 @@ func TestCompareDeployments(t *testing.T) {
 		t.Error("accepted zero duration")
 	}
 }
+
+func TestSchemeResultMeanIsCallStable(t *testing.T) {
+	// Values chosen so that summing them in different orders rounds
+	// differently in the last bit; Mean must sum in a fixed order or the
+	// ±0 sign of "improvement over self" flips between calls (it feeds
+	// WriteImprovementSummary, whose output must be run-deterministic).
+	sr := SchemeResult{Scheme: BaOnly, Results: map[string]sim.Result{
+		"GG": {EnergyEfficiency: 0.1},
+		"PR": {EnergyEfficiency: 0.2},
+		"WS": {EnergyEfficiency: 0.3},
+		"MR": {EnergyEfficiency: 1e-17},
+		"NC": {EnergyEfficiency: 0.7},
+	}}
+	ee := func(r sim.Result) float64 { return r.EnergyEfficiency }
+	first := sr.Mean(ee)
+	for i := 0; i < 200; i++ {
+		if got := sr.Mean(ee); got != first {
+			t.Fatalf("call %d: Mean = %v, first call gave %v", i, got, first)
+		}
+	}
+	if s := pctGain(sr.Mean(ee), sr.Mean(ee)); s != "+0.0%" {
+		t.Fatalf("self-improvement = %q, want +0.0%%", s)
+	}
+}

@@ -10,13 +10,16 @@ package heb
 
 import (
 	"fmt"
+	"hash/fnv"
 	"time"
 
 	"heb/internal/core"
 	"heb/internal/esd"
 	"heb/internal/forecast"
+	"heb/internal/obs"
 	"heb/internal/pat"
 	"heb/internal/power"
+	"heb/internal/runner"
 	"heb/internal/sim"
 	"heb/internal/units"
 )
@@ -111,6 +114,19 @@ type Prototype struct {
 	BatteryPreAge float64
 	// Seed drives workload generation (and the injected sensor noise).
 	Seed int64
+
+	// Capture, when set, collects every run's observability artifacts
+	// (event log, decision trace, deterministic counters) keyed by the
+	// run's configuration fingerprint. A single Capture may be shared by
+	// all cells of a parallel sweep; obs.Capture.WriteFiles then produces
+	// files that are byte-identical for any worker count. Nil (the
+	// default) costs nothing.
+	Capture *obs.Capture
+
+	// Progress, when set, receives each run's completed step count as
+	// units (runner.Progress.AddUnits), giving parallel sweeps a live
+	// steps/s readout. Observe-only: it never affects results.
+	Progress *runner.Progress
 }
 
 // DefaultPrototype returns the paper's Section 6 configuration.
@@ -334,6 +350,14 @@ type RunOptions struct {
 	// TableSink, when set, receives the scheme's PAT after the run
 	// (HEB-S / HEB-D only), so callers can persist what was learned.
 	TableSink func(*pat.Table)
+	// Events receives the engine's discrete events (relay switches,
+	// sheds/restores, pool handoffs, mode changes, mismatch windows, PAT
+	// traffic) for this run. Composes with the prototype's Capture.
+	Events obs.EventSink
+	// DecisionTrace receives one hControl decision record per control
+	// slot, with Seconds stamped from the slot ordinal and the
+	// prototype's slot length. Composes with the prototype's Capture.
+	DecisionTrace func(obs.DecisionRecord)
 }
 
 // Run executes one scheme on one workload trace and returns the
@@ -377,6 +401,34 @@ func (p Prototype) Run(id SchemeID, workload Workload, opts RunOptions) (sim.Res
 			scheme = core.NewHEBD(opts.Table)
 		}
 	}
+	// Observability plumbing: the caller's sinks compose with the
+	// prototype's capture; everything stays nil when both are off so the
+	// engine keeps its allocation-free fast path.
+	var capLog *obs.Log
+	var capDecisions *obs.DecisionLog
+	if p.Capture != nil {
+		capLog = obs.NewLog(p.Capture.EventCap())
+		capDecisions = obs.NewDecisionLog()
+	}
+	events := opts.Events
+	if capLog != nil {
+		events = obs.MultiSink(opts.Events, capLog)
+	}
+	var traceFn func(obs.DecisionRecord)
+	if opts.DecisionTrace != nil || capDecisions != nil {
+		slotSecs := p.Slot.Seconds()
+		userTrace, capTrace := opts.DecisionTrace, capDecisions
+		traceFn = func(rec obs.DecisionRecord) {
+			rec.Seconds = float64(rec.Slot-1) * slotSecs
+			if capTrace != nil {
+				capTrace.Append(rec)
+			}
+			if userTrace != nil {
+				userTrace(rec)
+			}
+		}
+	}
+
 	ctrl, err := core.NewController(core.Config{
 		SmallPeakWatts:  p.SmallPeakWatts,
 		Budget:          budget,
@@ -385,6 +437,7 @@ func (p Prototype) Run(id SchemeID, workload Workload, opts RunOptions) (sim.Res
 		ValleyPredictor: valleyPred,
 		SensorNoise:     p.SensorNoise,
 		NoiseSeed:       p.Seed,
+		Trace:           traceFn,
 	}, scheme)
 	if err != nil {
 		return sim.Result{}, err
@@ -435,15 +488,72 @@ func (p Prototype) Run(id SchemeID, workload Workload, opts RunOptions) (sim.Res
 		Topology:       p.Topology,
 		ChargePriority: charge,
 		Observer:       opts.Observer,
+		Events:         events,
 	})
 	if err != nil {
 		return sim.Result{}, err
 	}
 	res := eng.Run()
+	// A trailing slot the run ended inside still deserves its record, so
+	// the decision count always equals SlotCount.
+	ctrl.FlushTrace()
+	if p.Progress != nil {
+		p.Progress.AddUnits(int64(res.Steps))
+	}
 	if opts.TableSink != nil {
 		if table, ok := core.Table(scheme); ok {
 			opts.TableSink(table)
 		}
 	}
+	if p.Capture != nil {
+		artifact := obs.RunArtifact{
+			Key:           p.runKey(id, workload, res, opts),
+			Events:        capLog.Events(),
+			EventsDropped: capLog.Dropped(),
+			Decisions:     capDecisions.Records(),
+			Steps:         int64(res.Steps),
+			MismatchSteps: int64(res.MismatchSteps),
+			Slots:         int64(res.SlotCount),
+			RelaySwitches: map[string]int64{},
+		}
+		for src, n := range res.RelaySwitches {
+			if n > 0 {
+				artifact.RelaySwitches[power.Source(src).String()] = n
+			}
+		}
+		if table, ok := core.Table(scheme); ok {
+			lookups, misses := table.Stats()
+			artifact.PATLookups = int64(lookups)
+			artifact.PATMisses = int64(misses)
+		}
+		p.Capture.Contribute(artifact)
+	}
 	return res, nil
+}
+
+// runKey fingerprints one run's configuration for capture artifacts. The
+// readable prefix carries the headline knobs; the trailing cfg= hash
+// covers every remaining prototype field (battery chemistry, PAT tuning,
+// thresholds, ...) so two runs share a key only when their configuration
+// is the same experiment cell, making multi-run artifact files
+// independent of worker scheduling.
+func (p Prototype) runKey(id SchemeID, workload Workload, res sim.Result, opts RunOptions) string {
+	budget := p.Budget
+	if opts.Budget > 0 {
+		budget = opts.Budget
+	}
+	feed := "utility"
+	if opts.Feed != nil {
+		feed = fmt.Sprintf("%T", opts.Feed)
+	}
+	h := fnv.New64a()
+	q := p
+	q.Capture = nil
+	q.Progress = nil
+	fmt.Fprintf(h, "%+v", q)
+	fmt.Fprintf(h, "|%T|%T|table=%v", opts.PeakPredictor, opts.ValleyPredictor, opts.Table != nil)
+	return fmt.Sprintf("%s|%s|%s|seed=%d|n=%d|budget=%g|storage=%g|scratio=%g|topo=%d|feed=%s|renew=%v|noise=%g|preage=%g|cfg=%016x",
+		id, workload.Name(), res.Duration, p.Seed, p.NumServers, float64(budget),
+		p.StorageWh, p.SCRatio, int(p.Topology), feed, opts.Renewable,
+		p.SensorNoise, p.BatteryPreAge, h.Sum64())
 }

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"heb/internal/forecast"
+	"heb/internal/obs"
 	"heb/internal/pat"
 	"heb/internal/units"
 )
@@ -31,6 +32,13 @@ type Config struct {
 	SensorNoise float64
 	// NoiseSeed makes the injected noise reproducible.
 	NoiseSeed int64
+
+	// Trace, when set, receives one DecisionRecord per control slot —
+	// emitted at FinishSlot (Completed=true) or from FlushTrace for a
+	// trailing slot the run ended inside (Completed=false). The record's
+	// Seconds field is zero; callers that know the slot length stamp it
+	// ((Slot-1) × slot seconds). Nil disables tracing at zero cost.
+	Trace func(obs.DecisionRecord)
 }
 
 // Validate reports the first invalid field.
@@ -62,6 +70,13 @@ type Controller struct {
 	haveSlot  bool
 	slotCount int
 
+	// patTable is the scheme's PAT when it has one; PlanSlot snapshots
+	// its stats around the Plan call to attribute lookups per slot.
+	patTable                *pat.Table
+	lastLookups, lastMisses int
+	pending                 obs.DecisionRecord
+	havePending             bool
+
 	noise *rand.Rand
 }
 
@@ -85,6 +100,7 @@ func NewController(cfg Config, scheme Scheme) (*Controller, error) {
 	if cfg.SensorNoise > 0 {
 		c.noise = rand.New(rand.NewSource(cfg.NoiseSeed))
 	}
+	c.patTable, _ = Table(scheme)
 	return c, nil
 }
 
@@ -139,7 +155,46 @@ func (c *Controller) PlanSlot(scAvail, scCap, baAvail, baCap units.Energy) (Slot
 	c.lastView = v
 	c.haveSlot = true
 	c.slotCount++
-	return v, c.scheme.Plan(v)
+
+	lookupsBefore, missesBefore := 0, 0
+	if c.patTable != nil {
+		lookupsBefore, missesBefore = c.patTable.Stats()
+	}
+	d := c.scheme.Plan(v)
+	c.lastLookups, c.lastMisses = 0, 0
+	if c.patTable != nil {
+		lookupsAfter, missesAfter := c.patTable.Stats()
+		c.lastLookups = lookupsAfter - lookupsBefore
+		c.lastMisses = missesAfter - missesBefore
+	}
+	if c.cfg.Trace != nil {
+		c.pending = obs.DecisionRecord{
+			Slot:             c.slotCount,
+			Scheme:           c.scheme.Name(),
+			SCFrac:           v.SCFrac,
+			BAFrac:           v.BAFrac,
+			SCAvailWh:        v.SCAvail.Wh(),
+			BAAvailWh:        v.BAAvail.Wh(),
+			BudgetW:          float64(v.Budget),
+			PredictedPeakW:   float64(v.PredictedPeak),
+			PredictedValleyW: float64(v.PredictedValley),
+			PredictedPMW:     float64(v.PredictedPM),
+			PredictedOverW:   float64(v.PredictedOver),
+			SmallPeak:        v.SmallPeak,
+			Mode:             d.Mode.String(),
+			Ratio:            d.Ratio,
+			PATLookups:       c.lastLookups,
+			PATMisses:        c.lastMisses,
+		}
+		c.havePending = true
+	}
+	return v, d
+}
+
+// LastPlanPAT returns the PAT lookup and miss counts attributable to the
+// most recent PlanSlot (zero for table-free schemes).
+func (c *Controller) LastPlanPAT() (lookups, misses int) {
+	return c.lastLookups, c.lastMisses
 }
 
 // FinishSlot feeds the observed slot result back: predictor updates,
@@ -154,6 +209,31 @@ func (c *Controller) FinishSlot(r SlotResult) {
 	c.valleyPred.Observe(float64(r.ActualValley))
 	c.scheme.Learn(c.lastView, r)
 	c.haveSlot = false
+	if c.cfg.Trace != nil && c.havePending {
+		c.pending.Completed = true
+		c.pending.ActualPeakW = float64(r.ActualPeak)
+		c.pending.ActualValleyW = float64(r.ActualValley)
+		c.pending.ActualPMW = float64(r.ActualPM)
+		c.pending.ActualOverW = float64(r.ActualOver)
+		c.pending.SCFracEnd = r.SCFracEnd
+		c.pending.BAFracEnd = r.BAFracEnd
+		c.pending.RatioUsed = r.RatioUsed
+		c.havePending = false
+		c.cfg.Trace(c.pending)
+	}
+}
+
+// FlushTrace emits the trace record of a planned slot that never reached
+// FinishSlot (the run ended inside it), with Completed=false. Callers run
+// it once after the engine finishes so SlotCount always equals the number
+// of emitted records; it is a no-op when tracing is off or no record is
+// pending.
+func (c *Controller) FlushTrace() {
+	if c.cfg.Trace == nil || !c.havePending {
+		return
+	}
+	c.havePending = false
+	c.cfg.Trace(c.pending)
 }
 
 // PredictionErrors returns the peak and valley accuracy trackers.

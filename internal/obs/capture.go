@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// RunArtifact is one run's contribution to a capture: its events and
+// decision trace plus the deterministic scalar counters that end up in
+// metrics.prom. Key must identify the run's full configuration (scheme,
+// workload, duration, seed, ...) — artifacts are sorted by Key before
+// writing, which is what makes the output independent of worker
+// scheduling.
+type RunArtifact struct {
+	Key           string
+	Events        []Event
+	EventsDropped int
+	Decisions     []DecisionRecord
+	Steps         int64
+	MismatchSteps int64
+	Slots         int64
+	// RelaySwitches counts relay movements by destination position name
+	// (utility, battery, supercap, off).
+	RelaySwitches map[string]int64
+	PATLookups    int64
+	PATMisses     int64
+}
+
+// Capture aggregates the per-run observability artifacts of a sweep and
+// writes them as three files: events.jsonl, decisions.jsonl and
+// metrics.prom. Runs may Contribute concurrently and in any order; the
+// written files are byte-identical for any worker count because output is
+// sorted by (Key, content) and contains only simulation-deterministic
+// values — never wall-clock or scheduling state.
+type Capture struct {
+	mu       sync.Mutex
+	eventCap int
+	runs     []RunArtifact
+}
+
+// DefaultEventCap bounds the events kept per run so a full-suite sweep
+// cannot grow without bound; overflow is counted, not stored.
+const DefaultEventCap = 5000
+
+// NewCapture builds an empty capture with the default per-run event cap.
+func NewCapture() *Capture { return &Capture{eventCap: DefaultEventCap} }
+
+// SetEventCap overrides the per-run event cap (0 = unbounded).
+func (c *Capture) SetEventCap(n int) {
+	c.mu.Lock()
+	c.eventCap = n
+	c.mu.Unlock()
+}
+
+// EventCap returns the per-run event cap each contributing run should use.
+func (c *Capture) EventCap() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.eventCap
+}
+
+// Contribute adds one run's artifact. Events and decisions are stamped
+// with the run key so the merged files remain attributable.
+func (c *Capture) Contribute(a RunArtifact) {
+	for i := range a.Events {
+		if a.Events[i].Run == "" {
+			a.Events[i].Run = a.Key
+		}
+	}
+	for i := range a.Decisions {
+		if a.Decisions[i].Run == "" {
+			a.Decisions[i].Run = a.Key
+		}
+	}
+	c.mu.Lock()
+	c.runs = append(c.runs, a)
+	c.mu.Unlock()
+}
+
+// Runs returns the contributed artifacts sorted into output order.
+func (c *Capture) Runs() []RunArtifact {
+	c.mu.Lock()
+	out := append([]RunArtifact(nil), c.runs...)
+	c.mu.Unlock()
+	// Precompute fingerprints: key collisions are legitimate (a suite may
+	// run the same cell in several experiments, and a key cannot encode
+	// every config knob), so ties must order by full content to keep the
+	// written files scheduling-independent.
+	fps := make([]string, len(out))
+	idx := make([]int, len(out))
+	for i := range out {
+		fps[i] = artifactFingerprint(out[i])
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		i, j := idx[a], idx[b]
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return fps[i] < fps[j]
+	})
+	sorted := make([]RunArtifact, len(out))
+	for k, i := range idx {
+		sorted[k] = out[i]
+	}
+	return sorted
+}
+
+// artifactFingerprint summarizes an artifact's full simulated content —
+// counters, every event, every decision record — so that artifacts
+// sharing a Key still sort deterministically.
+func artifactFingerprint(a RunArtifact) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d|%d|%d|%d|%d", a.Steps, a.MismatchSteps, a.Slots, len(a.Events), len(a.Decisions))
+	for _, e := range a.Events {
+		fmt.Fprintf(&sb, "|%g:%d:%d:%s:%s:%g", e.Seconds, e.Kind, e.Server, e.From, e.To, e.Watts)
+	}
+	for _, d := range a.Decisions {
+		fmt.Fprintf(&sb, "|%d:%s:%g:%v:%g:%g:%g:%g:%d",
+			d.Slot, d.Mode, d.Ratio, d.SmallPeak,
+			d.PredictedPeakW, d.ActualPeakW, d.SCFrac, d.BAFrac, d.PATLookups)
+	}
+	return sb.String()
+}
+
+// Registry renders the capture's deterministic counters into a fresh
+// metrics registry using the heb_<subsystem>_<name>_<unit> naming scheme.
+func (c *Capture) Registry() *Registry {
+	reg := NewRegistry()
+	runs := c.Runs()
+	reg.Counter("heb_capture_runs_total", "Runs contributing to this capture.").Add(float64(len(runs)))
+	for _, a := range runs {
+		reg.Counter("heb_engine_steps_total", "Simulation steps executed.").Add(float64(a.Steps))
+		reg.Counter("heb_engine_mismatch_steps_total", "Steps with demand above supply.").Add(float64(a.MismatchSteps))
+		reg.Counter("heb_control_slots_total", "hControl slots planned.").Add(float64(a.Slots))
+		reg.Counter("heb_pat_lookups_total", "PAT table lookups.").Add(float64(a.PATLookups))
+		reg.Counter("heb_pat_misses_total", "PAT lookups served by similarity fallback.").Add(float64(a.PATMisses))
+		reg.Counter("heb_obs_events_dropped_total", "Events rejected by the per-run cap.").Add(float64(a.EventsDropped))
+		for pos, n := range a.RelaySwitches {
+			reg.Counter("heb_power_relay_switches_total", "Relay movements by destination position.",
+				Label{Name: "position", Value: pos}).Add(float64(n))
+		}
+		for kind, n := range countKinds(a.Events) {
+			reg.Counter("heb_obs_events_total", "Events recorded by kind.",
+				Label{Name: "kind", Value: kind.String()}).Add(float64(n))
+		}
+	}
+	return reg
+}
+
+func countKinds(events []Event) map[EventKind]int {
+	out := make(map[EventKind]int)
+	for _, e := range events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// WriteFiles writes events.jsonl, decisions.jsonl and metrics.prom into
+// dir, creating it if needed. Output depends only on the contributed
+// artifacts, never on contribution order.
+func (c *Capture) WriteFiles(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("obs: capture dir: %w", err)
+	}
+	runs := c.Runs()
+
+	var events []Event
+	var decisions []DecisionRecord
+	for _, a := range runs {
+		events = append(events, a.Events...)
+		decisions = append(decisions, a.Decisions...)
+	}
+
+	if err := writeTo(filepath.Join(dir, "events.jsonl"), func(f *os.File) error {
+		return WriteEventsJSONL(f, events)
+	}); err != nil {
+		return err
+	}
+	if err := writeTo(filepath.Join(dir, "decisions.jsonl"), func(f *os.File) error {
+		return WriteDecisionsJSONL(f, decisions)
+	}); err != nil {
+		return err
+	}
+	return writeTo(filepath.Join(dir, "metrics.prom"), func(f *os.File) error {
+		return c.Registry().WritePrometheus(f)
+	})
+}
+
+func writeTo(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: close %s: %w", path, err)
+	}
+	return nil
+}

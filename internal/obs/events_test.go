@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestEventKindRoundTrip(t *testing.T) {
+	for k := EventKind(0); k < numEventKinds; k++ {
+		got, err := ParseEventKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseEventKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("round trip %v → %v", k, got)
+		}
+	}
+	if _, err := ParseEventKind("bogus"); err == nil {
+		t.Fatal("ParseEventKind accepted an unknown kind")
+	}
+}
+
+func TestLogQueries(t *testing.T) {
+	l := NewLog(0)
+	l.Emit(Event{Seconds: 1, Kind: EventShed, Server: 3})
+	l.Emit(Event{Seconds: 2, Kind: EventRestore, Server: 3})
+	l.Emit(Event{Seconds: 5, Kind: EventShed, Server: 7})
+	if l.Len() != 3 {
+		t.Fatalf("len = %d, want 3", l.Len())
+	}
+	if got := l.ByKind(EventShed); len(got) != 2 || got[1].Server != 7 {
+		t.Fatalf("ByKind(shed) = %+v", got)
+	}
+	if got := l.Between(1.5, 5); len(got) != 1 || got[0].Kind != EventRestore {
+		t.Fatalf("Between(1.5,5) = %+v", got)
+	}
+	counts := l.CountByKind()
+	if counts[EventShed] != 2 || counts[EventRestore] != 1 {
+		t.Fatalf("CountByKind = %v", counts)
+	}
+}
+
+func TestLogCapDropsAndCounts(t *testing.T) {
+	l := NewLog(2)
+	for i := 0; i < 5; i++ {
+		l.Emit(Event{Seconds: float64(i), Kind: EventShed})
+	}
+	if l.Len() != 2 {
+		t.Fatalf("len = %d, want 2", l.Len())
+	}
+	if l.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", l.Dropped())
+	}
+}
+
+func TestEventsJSONLRoundTrip(t *testing.T) {
+	in := []Event{
+		{Seconds: 0, Kind: EventRunStart, Server: -1, Detail: "HEB-D"},
+		{Seconds: 12, Kind: EventHandoff, Server: 4, From: "battery", To: "supercap"},
+		{Seconds: 30, Kind: EventMismatchBegin, Server: -1, Watts: 812.5},
+	}
+	var buf bytes.Buffer
+	if err := WriteEventsJSONL(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip length %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("event %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadEventsRejectsGarbage(t *testing.T) {
+	if _, err := ReadEvents(bytes.NewBufferString("{not json\n")); err == nil {
+		t.Fatal("ReadEvents accepted garbage")
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	if MultiSink(nil, nil) != nil {
+		t.Fatal("all-nil MultiSink should collapse to nil")
+	}
+	a := NewLog(0)
+	if got := MultiSink(nil, a); got != EventSink(a) {
+		t.Fatal("single live sink should be returned unwrapped")
+	}
+	b := NewLog(0)
+	m := MultiSink(a, b)
+	m.Emit(Event{Kind: EventShed})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("fan-out failed: a=%d b=%d", a.Len(), b.Len())
+	}
+}

@@ -87,6 +87,15 @@ type Fabric struct {
 
 	offline int // count of positions currently on SourceOff
 
+	// switches counts effective relay movements by destination position;
+	// a no-op Assign (same source) does not count — only physical relay
+	// actuations matter for the wear and event accounting.
+	switches [NumSources]int64
+	// onSwitch, when set, observes each effective relay movement. It is
+	// invoked synchronously from Assign, so it must be cheap; the nil
+	// default costs one predictable branch.
+	onSwitch func(id int, from, to Source)
+
 	lru lruSorter // persistent sorter state for LRUOrderInto
 
 	meter Meter
@@ -232,6 +241,12 @@ func (f *Fabric) Assign(id int, src Source) error {
 	}
 	was := f.assign[i]
 	f.assign[i] = src
+	if was != src {
+		f.switches[src]++
+		if f.onSwitch != nil {
+			f.onSwitch(id, was, src)
+		}
+	}
 	if was == SourceOff && src != SourceOff {
 		f.offline--
 	} else if was != SourceOff && src == SourceOff {
@@ -432,6 +447,20 @@ func (f *Fabric) MeterStepPools(dt time.Duration, servedBA, servedSC units.Power
 func (f *Fabric) MeterStep(dt time.Duration, served map[Source]units.Power) {
 	f.MeterStepPools(dt, served[SourceBattery], served[SourceSupercap])
 }
+
+// SetSwitchListener installs fn to observe every effective relay movement
+// (nil uninstalls). The listener runs synchronously inside Assign.
+func (f *Fabric) SetSwitchListener(fn func(id int, from, to Source)) {
+	f.onSwitch = fn
+}
+
+// SwitchCounts returns cumulative effective relay movements indexed by
+// destination position. Moves to SourceOff are sheds, moves away from it
+// restores; battery/supercap entries count pool (re)assignments.
+func (f *Fabric) SwitchCounts() [NumSources]int64 { return f.switches }
+
+// ResetSwitchCounts clears the relay movement counters.
+func (f *Fabric) ResetSwitchCounts() { f.switches = [NumSources]int64{} }
 
 // Meter returns the cumulative IPDU meter readings.
 func (f *Fabric) Meter() Meter { return f.meter }

@@ -236,3 +236,63 @@ func TestSourceString(t *testing.T) {
 		}
 	}
 }
+
+func TestFabricSwitchCountsAndListener(t *testing.T) {
+	f := MustNewFabric(testServers(t, 3))
+	if f.SwitchCounts() != [NumSources]int64{} {
+		t.Fatalf("fresh fabric has switch counts %v", f.SwitchCounts())
+	}
+	type move struct {
+		id       int
+		from, to Source
+	}
+	var seen []move
+	f.SetSwitchListener(func(id int, from, to Source) {
+		seen = append(seen, move{id, from, to})
+	})
+
+	_ = f.Assign(0, SourceBattery)
+	_ = f.Assign(0, SourceBattery) // no-op: same source, must not count
+	_ = f.Assign(1, SourceSupercap)
+	_ = f.Assign(1, SourceOff)
+	_ = f.Assign(1, SourceUtility)
+
+	want := [NumSources]int64{SourceUtility: 1, SourceBattery: 1, SourceSupercap: 1, SourceOff: 1}
+	if got := f.SwitchCounts(); got != want {
+		t.Errorf("switch counts %v, want %v", got, want)
+	}
+	wantMoves := []move{
+		{0, SourceUtility, SourceBattery},
+		{1, SourceUtility, SourceSupercap},
+		{1, SourceSupercap, SourceOff},
+		{1, SourceOff, SourceUtility},
+	}
+	if len(seen) != len(wantMoves) {
+		t.Fatalf("listener saw %d moves, want %d: %v", len(seen), len(wantMoves), seen)
+	}
+	for i := range seen {
+		if seen[i] != wantMoves[i] {
+			t.Errorf("move %d = %v, want %v", i, seen[i], wantMoves[i])
+		}
+	}
+
+	f.SetSwitchListener(nil) // uninstall: Assign must not panic
+	_ = f.Assign(2, SourceBattery)
+	f.ResetSwitchCounts()
+	if f.SwitchCounts() != [NumSources]int64{} {
+		t.Error("ResetSwitchCounts left residue")
+	}
+}
+
+func TestFabricStuckRelayDoesNotCountSwitch(t *testing.T) {
+	f := MustNewFabric(testServers(t, 2))
+	if err := f.FailRelay(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Assign(0, SourceBattery); err == nil {
+		t.Fatal("stuck relay accepted a switch")
+	}
+	if got := f.SwitchCounts(); got != [NumSources]int64{} {
+		t.Errorf("rejected switch was counted: %v", got)
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"heb/internal/core"
 	"heb/internal/esd"
+	"heb/internal/obs"
 	"heb/internal/power"
 	"heb/internal/trace"
 	"heb/internal/units"
@@ -97,6 +98,15 @@ type Config struct {
 	// of a parallel sweep) must synchronize itself.
 	Observer func(StepInfo)
 
+	// Events, when set, receives the engine's discrete events: run
+	// start/end, every effective relay movement (classified as shed,
+	// restore, battery<->SC handoff or plain switch), charge-mode changes,
+	// mismatch window begin/end, and PAT hit/miss per slot plan. The sink
+	// is called synchronously from the engine goroutine. A nil sink is the
+	// fast path: no event values are built at all, so the hot loop stays
+	// allocation-free (guarded by BenchmarkEngineObsDisabled).
+	Events obs.EventSink
+
 	// DVFSCapping enables the performance-scaling baseline the paper
 	// contrasts energy buffering against: on a mismatch the whole
 	// cluster is stepped down to the low DVFS point before any buffer
@@ -120,6 +130,9 @@ type StepInfo struct {
 	OnUtility, OnBattery, OnSupercap, Off int
 	// Mismatch reports whether demand exceeded supply this tick.
 	Mismatch bool
+	// RelaySwitches is the cumulative effective relay movement count by
+	// destination position (see power.Fabric.SwitchCounts).
+	RelaySwitches [power.NumSources]int64
 }
 
 // Validate reports the first invalid field and applies no defaults.
@@ -179,6 +192,15 @@ type Engine struct {
 	slotPeak      units.Power
 	slotValley    units.Power
 	slotHasSample bool
+
+	// Event state: the current tick time (stamped before any relay can
+	// move, so the fabric's switch listener timestamps correctly), the
+	// open-mismatch flag for begin/end pairing, and the last dispatch mode
+	// for change detection. Only maintained when cfg.Events is set.
+	now        time.Duration
+	inMismatch bool
+	lastMode   core.Mode
+	haveMode   bool
 
 	// Restart hysteresis: servers shed recently stay off briefly so the
 	// engine does not thrash between shedding and restarting.
@@ -260,7 +282,33 @@ func New(cfg Config) (*Engine, error) {
 		lruScratch:      make([]int, 0, n),
 	}
 	e.ovSorter.e = e
+	if cfg.Events != nil {
+		e.fabric.SetSwitchListener(e.emitSwitch)
+	}
 	return e, nil
+}
+
+// emitSwitch classifies an effective relay movement into the event
+// taxonomy and forwards it to the sink. Installed only when events are on.
+func (e *Engine) emitSwitch(id int, from, to power.Source) {
+	ev := obs.Event{
+		Seconds: e.now.Seconds(),
+		Server:  id,
+		From:    from.String(),
+		To:      to.String(),
+	}
+	switch {
+	case to == power.SourceOff:
+		ev.Kind = obs.EventShed
+	case from == power.SourceOff:
+		ev.Kind = obs.EventRestore
+	case (from == power.SourceBattery && to == power.SourceSupercap) ||
+		(from == power.SourceSupercap && to == power.SourceBattery):
+		ev.Kind = obs.EventHandoff
+	default:
+		ev.Kind = obs.EventRelaySwitch
+	}
+	e.cfg.Events.Emit(ev)
 }
 
 // MustNew is New for known-good configs.
@@ -291,26 +339,64 @@ func (e *Engine) Run() Result {
 	e.slotPeaks = make([]float64, 0, nSlots)
 	e.slotValleys = make([]float64, 0, nSlots)
 
-	e.planSlot()
+	if cfg.Events != nil {
+		cfg.Events.Emit(obs.Event{
+			Kind: obs.EventRunStart, Server: -1,
+			Detail: cfg.Controller.Scheme().Name(),
+		})
+	}
+	e.planSlot(0)
 	for i := 0; i < steps; i++ {
 		now := time.Duration(i) * cfg.Step
 		if i > 0 && i%slotSteps == 0 {
 			e.finishSlot()
-			e.planSlot()
+			e.planSlot(now)
 		}
 		e.step(now)
 	}
 	e.finishSlot()
+	if cfg.Events != nil {
+		end := cfg.Duration.Seconds()
+		if e.inMismatch {
+			e.inMismatch = false
+			cfg.Events.Emit(obs.Event{Seconds: end, Kind: obs.EventMismatchEnd, Server: -1})
+		}
+		cfg.Events.Emit(obs.Event{Seconds: end, Kind: obs.EventRunEnd, Server: -1})
+	}
 	return e.result()
 }
 
 // planSlot queries the controller for the coming slot's decision.
-func (e *Engine) planSlot() {
+func (e *Engine) planSlot(now time.Duration) {
 	scAvail, scCap := e.supercapEnergy()
 	baAvail := e.cfg.Battery.Stored()
 	baCap := e.cfg.Battery.Capacity()
 	e.view, e.decision = e.cfg.Controller.PlanSlot(scAvail, scCap, baAvail, baCap)
 	e.slotPeak, e.slotValley, e.slotHasSample = 0, 0, false
+	if e.cfg.Events != nil {
+		e.emitPlanEvents(now)
+	}
+}
+
+// emitPlanEvents reports the slot plan: dispatch-mode changes and the
+// PAT traffic the plan cost.
+func (e *Engine) emitPlanEvents(now time.Duration) {
+	sec := now.Seconds()
+	if !e.haveMode || e.decision.Mode != e.lastMode {
+		ev := obs.Event{Seconds: sec, Kind: obs.EventChargeModeChange, Server: -1, To: e.decision.Mode.String()}
+		if e.haveMode {
+			ev.From = e.lastMode.String()
+		}
+		e.cfg.Events.Emit(ev)
+		e.lastMode, e.haveMode = e.decision.Mode, true
+	}
+	if lookups, misses := e.cfg.Controller.LastPlanPAT(); lookups > 0 {
+		kind := obs.EventPATHit
+		if misses > 0 {
+			kind = obs.EventPATMiss
+		}
+		e.cfg.Events.Emit(obs.Event{Seconds: sec, Kind: kind, Server: -1, Watts: float64(e.view.PredictedOver)})
+	}
 }
 
 // finishSlot reports the slot's observations back to the controller.
@@ -353,6 +439,7 @@ func (e *Engine) step(now time.Duration) {
 	cfg := e.cfg
 	dt := cfg.Step
 	e.steps++
+	e.now = now
 
 	// Drive utilization from the workload and stamp LRU activity.
 	row := cfg.Workload.At(now)
@@ -377,24 +464,38 @@ func (e *Engine) step(now time.Duration) {
 		demand = e.applyCapping(demand, effSupply, dt)
 	}
 
-	if demand <= effSupply {
+	mismatch := demand > effSupply
+	if cfg.Events != nil && mismatch != e.inMismatch {
+		if mismatch {
+			cfg.Events.Emit(obs.Event{
+				Seconds: now.Seconds(), Kind: obs.EventMismatchBegin, Server: -1,
+				Watts: float64(demand - effSupply),
+			})
+		} else {
+			cfg.Events.Emit(obs.Event{Seconds: now.Seconds(), Kind: obs.EventMismatchEnd, Server: -1})
+		}
+		e.inMismatch = mismatch
+	}
+
+	if !mismatch {
 		e.stepSurplus(now, demand, supply, effSupply, dt)
 	} else {
 		e.stepMismatch(now, demand, supply, effSupply, dt)
 	}
 	if cfg.Observer != nil {
-		cfg.Observer(e.snapshot(now, demand, supply, demand > effSupply))
+		cfg.Observer(e.snapshot(now, demand, supply, mismatch))
 	}
 }
 
 // snapshot assembles the observer's per-tick view.
 func (e *Engine) snapshot(now time.Duration, demand, supply units.Power, mismatch bool) StepInfo {
 	info := StepInfo{
-		Now:        now,
-		Demand:     demand,
-		Supply:     supply,
-		BatterySoC: e.cfg.Battery.SoC(),
-		Mismatch:   mismatch,
+		Now:           now,
+		Demand:        demand,
+		Supply:        supply,
+		BatterySoC:    e.cfg.Battery.SoC(),
+		Mismatch:      mismatch,
+		RelaySwitches: e.fabric.SwitchCounts(),
 	}
 	if e.cfg.Supercap != nil {
 		info.SupercapSoC = e.cfg.Supercap.SoC()
@@ -935,6 +1036,7 @@ func (e *Engine) result() Result {
 		MismatchSteps:         e.mismatchSteps,
 		SlotCount:             cfg.Controller.SlotCount(),
 		DegradedServerSeconds: e.degradedSecs,
+		RelaySwitches:         e.fabric.SwitchCounts(),
 	}
 	if e.steps > 0 {
 		res.DowntimeFraction = meter.DowntimeServerSeconds /

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"heb/internal/esd"
+	"heb/internal/power"
 	"heb/internal/units"
 )
 
@@ -64,6 +65,9 @@ type Result struct {
 
 	// MismatchSteps counts ticks where demand exceeded supply.
 	MismatchSteps int
+	// RelaySwitches counts effective relay movements by destination
+	// position (utility, battery, supercap, off) over the run.
+	RelaySwitches [power.NumSources]int64
 	// DegradedServerSeconds is forced-low-frequency time under the DVFS
 	// power-capping baseline — the performance penalty energy buffers
 	// avoid (zero when capping is off).

@@ -6,7 +6,7 @@
 //
 //	GET /healthz  -> 200 "ok"
 //	GET /latest   -> most recent snapshot as JSON
-//	GET /history  -> last N snapshots as a JSON array (?n=, default 60)
+//	GET /history  -> last N snapshots as a JSON array (?n= >= 1, default 60)
 //	GET /summary  -> aggregate counters since start
 //	GET /curves   -> demand/SoC sparklines as plain text (?w= width)
 package telemetry
@@ -151,7 +151,12 @@ func (r *Recorder) Latest() (Snapshot, bool) {
 	return r.ring[i], true
 }
 
-// History returns up to n most recent snapshots, oldest first.
+// History returns up to n most recent snapshots, oldest first. n <= 0
+// means "everything held" — History(0) is the idiomatic way to drain the
+// full ring. Note the HTTP /history endpoint does NOT share this
+// convention: there n must be a positive integer and ?n=0 is rejected
+// with 400, so that a client typo never accidentally requests the whole
+// (potentially large) ring.
 func (r *Recorder) History(n int) []Snapshot {
 	r.mu.RLock()
 	defer r.mu.RUnlock()

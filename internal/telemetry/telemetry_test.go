@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"heb/internal/obs"
 	"heb/internal/sim"
 	"heb/internal/units"
 )
@@ -181,6 +182,125 @@ func TestHTTPEndpoints(t *testing.T) {
 	resp.Body.Close()
 	if sum.Steps != 2 || sum.MismatchSteps != 1 {
 		t.Errorf("/summary = %+v", sum)
+	}
+}
+
+// TestHistoryZeroMeansAllButHTTPRejectsIt pins the History(0) contract:
+// the library call returns everything held, while the HTTP endpoint
+// rejects n=0 (and any non-positive n) with 400.
+func TestHistoryZeroMeansAllButHTTPRejectsIt(t *testing.T) {
+	r := MustNewRecorder(8)
+	for i := 1; i <= 5; i++ {
+		r.Record(snap(float64(i), 100, false))
+	}
+	if got := len(r.History(0)); got != 5 {
+		t.Errorf("History(0) returned %d snapshots, want all 5", got)
+	}
+	if got := len(r.History(-3)); got != 5 {
+		t.Errorf("History(-3) returned %d snapshots, want all 5", got)
+	}
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	for _, q := range []string{"/history?n=0", "/history?n=-1"} {
+		resp, err := http.Get(srv.URL + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %v, want 400", q, resp.Status)
+		}
+	}
+	// A positive n still works and bounds the result.
+	resp, err := http.Get(srv.URL + "/history?n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist []Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&hist); err != nil {
+		t.Fatalf("decode /history: %v", err)
+	}
+	resp.Body.Close()
+	if len(hist) != 2 || hist[0].Seconds != 4 || hist[1].Seconds != 5 {
+		t.Errorf("/history?n=2 = %v", hist)
+	}
+}
+
+func TestMetricsBridge(t *testing.T) {
+	m := NewMetrics(nil)
+	step := func(mismatch bool, switches [4]int64) sim.StepInfo {
+		return sim.StepInfo{
+			Now: 10 * time.Second, Demand: 320, Supply: 260,
+			BatterySoC: 0.7, SupercapSoC: 0.4,
+			OnUtility: 4, OnBattery: 1, OnSupercap: 1,
+			Mismatch: mismatch, RelaySwitches: switches,
+		}
+	}
+	m.Observe(step(true, [4]int64{0, 2, 1, 0}))
+	m.Observe(step(false, [4]int64{0, 3, 1, 1}))
+
+	reg := m.Registry()
+	want := []struct {
+		name   string
+		labels []obs.Label
+		value  float64
+	}{
+		{"heb_engine_steps_total", nil, 2},
+		{"heb_engine_mismatch_steps_total", nil, 1},
+		{"heb_power_demand_watts", nil, 320},
+		{"heb_power_supply_watts", nil, 260},
+		{"heb_esd_battery_soc", nil, 0.7},
+		{"heb_esd_supercap_soc", nil, 0.4},
+		{"heb_power_relay_switches_total", []obs.Label{{Name: "position", Value: "battery"}}, 3},
+		{"heb_power_relay_switches_total", []obs.Label{{Name: "position", Value: "supercap"}}, 1},
+		{"heb_power_relay_switches_total", []obs.Label{{Name: "position", Value: "off"}}, 1},
+		{"heb_power_servers", []obs.Label{{Name: "position", Value: "utility"}}, 4},
+		{"heb_power_servers", []obs.Label{{Name: "position", Value: "off"}}, 0},
+	}
+	for _, w := range want {
+		got, ok := reg.Get(w.name, w.labels...)
+		if !ok {
+			t.Errorf("metric %s%v missing", w.name, w.labels)
+			continue
+		}
+		if got != w.value {
+			t.Errorf("%s%v = %g, want %g", w.name, w.labels, got, w.value)
+		}
+	}
+}
+
+// TestMetricsEndpointServesEngineCounters drives the bridge through an
+// httptest server the way cmd/hebmon mounts it.
+func TestMetricsEndpointServesEngineCounters(t *testing.T) {
+	m := NewMetrics(nil)
+	m.Observe(sim.StepInfo{Demand: 300, Supply: 260, Mismatch: true,
+		BatterySoC: 0.9, SupercapSoC: 0.8, RelaySwitches: [4]int64{0, 1, 0, 0}})
+	srv := httptest.NewServer(m.Registry().Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	text := string(body)
+	for _, line := range []string{
+		"heb_engine_steps_total 1",
+		"heb_engine_mismatch_steps_total 1",
+		`heb_power_relay_switches_total{position="battery"} 1`,
+		"heb_esd_battery_soc 0.9",
+		"# TYPE heb_engine_steps_total counter",
+	} {
+		if !strings.Contains(text, line) {
+			t.Errorf("/metrics missing %q:\n%s", line, text)
+		}
 	}
 }
 

@@ -1,0 +1,181 @@
+package heb
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"heb/internal/obs"
+	"heb/internal/runner"
+)
+
+// captureBytes runs the multi-seed sweep with the given worker count
+// under a fresh capture and returns the three artifact files' contents.
+func captureBytes(t *testing.T, workers int) map[string][]byte {
+	t.Helper()
+	p := DefaultPrototype()
+	p.Capture = obs.NewCapture()
+	_, err := MultiSeedComparison(p, MultiSeedOptions{
+		Seeds:    2,
+		Duration: 40 * time.Minute,
+		Workload: "PR",
+		Schemes:  []SchemeID{BaOnly, HEBD},
+		Workers:  workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := p.Capture.WriteFiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][]byte{}
+	for _, name := range []string{"events.jsonl", "decisions.jsonl", "metrics.prom"} {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+		out[name] = b
+	}
+	return out
+}
+
+// TestCaptureDeterministicAcrossWorkers is the headline determinism
+// guarantee: the artifact files a sweep writes are byte-identical
+// whether the cells ran on one worker or many.
+func TestCaptureDeterministicAcrossWorkers(t *testing.T) {
+	seq := captureBytes(t, 1)
+	par := captureBytes(t, 4)
+	for name, want := range seq {
+		if !bytes.Equal(par[name], want) {
+			t.Errorf("%s differs between workers=1 and workers=4", name)
+		}
+	}
+}
+
+// TestRunCaptureArtifacts pins the per-run capture contract: one
+// decision record per control slot, JSONL round-trips, and the metrics
+// exposition carrying the engine counters.
+func TestRunCaptureArtifacts(t *testing.T) {
+	p := DefaultPrototype()
+	p.Capture = obs.NewCapture()
+	pr, err := WorkloadNamed("PR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := 90 * time.Minute
+	res, err := p.Run(HEBD, pr.WithDuration(d), RunOptions{Duration: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runs := p.Capture.Runs()
+	if len(runs) != 1 {
+		t.Fatalf("capture holds %d runs, want 1", len(runs))
+	}
+	a := runs[0]
+	if len(a.Decisions) != res.SlotCount {
+		t.Fatalf("captured %d decision records, want SlotCount %d", len(a.Decisions), res.SlotCount)
+	}
+	if a.Steps != int64(res.Steps) || a.Slots != int64(res.SlotCount) {
+		t.Errorf("artifact counters %d/%d != result %d/%d", a.Steps, a.Slots, res.Steps, res.SlotCount)
+	}
+	if len(a.Events) == 0 {
+		t.Error("no events captured")
+	}
+	for _, rec := range a.Decisions {
+		if rec.Run != a.Key {
+			t.Fatalf("decision record not stamped with run key: %q", rec.Run)
+		}
+	}
+
+	// JSONL round-trip through the query helpers.
+	var buf bytes.Buffer
+	if err := obs.WriteDecisionsJSONL(&buf, a.Decisions); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ReadDecisions(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(a.Decisions) {
+		t.Fatalf("round-trip lost records: %d -> %d", len(a.Decisions), len(back))
+	}
+	for i := range back {
+		if back[i] != a.Decisions[i] {
+			t.Fatalf("decision %d changed in round-trip:\n%+v\n%+v", i, a.Decisions[i], back[i])
+		}
+	}
+
+	var prom bytes.Buffer
+	if err := p.Capture.Registry().WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"heb_engine_steps_total", "heb_engine_mismatch_steps_total",
+		"heb_control_slots_total", "heb_pat_lookups_total",
+	} {
+		if !bytes.Contains(prom.Bytes(), []byte(want)) {
+			t.Errorf("metrics exposition missing %s", want)
+		}
+	}
+}
+
+// TestRunOptionSinksComposeWithCapture checks that a caller's own event
+// sink and decision trace both still fire when a capture is attached.
+func TestRunOptionSinksComposeWithCapture(t *testing.T) {
+	p := DefaultPrototype()
+	p.Capture = obs.NewCapture()
+	pr, err := WorkloadNamed("PR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := 40 * time.Minute
+	userLog := obs.NewLog(0)
+	var traced []obs.DecisionRecord
+	res, err := p.Run(HEBD, pr.WithDuration(d), RunOptions{
+		Duration:      d,
+		Events:        userLog,
+		DecisionTrace: func(r obs.DecisionRecord) { traced = append(traced, r) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if userLog.Len() == 0 {
+		t.Error("user event sink saw nothing")
+	}
+	if len(traced) != res.SlotCount {
+		t.Errorf("user trace saw %d records, want %d", len(traced), res.SlotCount)
+	}
+	slotSecs := p.Slot.Seconds()
+	for i, rec := range traced {
+		if want := float64(i) * slotSecs; rec.Seconds != want {
+			t.Fatalf("record %d stamped %gs, want %gs", i, rec.Seconds, want)
+		}
+	}
+}
+
+// TestPrototypeProgressCountsSteps checks the sweep instrumentation
+// hook: each run feeds its step count into the shared Progress.
+func TestPrototypeProgressCountsSteps(t *testing.T) {
+	p := DefaultPrototype()
+	var prog runner.Progress
+	p.Progress = &prog
+	pr, err := WorkloadNamed("PR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := 30 * time.Minute
+	res, err := p.Run(SCFirst, pr.WithDuration(d), RunOptions{Duration: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.Snapshot().Units; got != int64(res.Steps) {
+		t.Errorf("progress units %d != steps %d", got, res.Steps)
+	}
+}

@@ -1,39 +1,54 @@
 #!/usr/bin/env bash
-# bench.sh — sweep and engine benchmarks, reported as BENCH_sweep.json.
+# bench.sh — sweep, engine and observability benchmarks, reported as
+# BENCH_sweep.json and BENCH_obs.json.
 #
-# Runs the multi-seed sweep sequential/parallel pair plus the raw engine
-# throughput benchmark with allocation tracking, and emits one JSON
-# object per benchmark with ns/op, allocs/op, B/op and simSteps/s. The
-# Sequential/Parallel pair is the wall-clock headline for the shared
-# runner (internal/runner); the speedup needs GOMAXPROCS >= 4 to show.
+# The sweep set runs the multi-seed sequential/parallel pair plus the raw
+# engine throughput benchmark; the Sequential/Parallel pair is the
+# wall-clock headline for the shared runner (internal/runner) and needs
+# GOMAXPROCS >= 4 to show a speedup.
 #
-# Usage: scripts/bench.sh [output.json]   (default BENCH_sweep.json)
+# The obs set runs the same HEB-D hour with the observability layer off
+# (nil sinks) and on (event log + decision trace): Disabled's allocs/op
+# must equal BenchmarkEngineStep's, proving the nil-sink guards keep the
+# engine hot loop allocation-free.
+#
+# Usage: scripts/bench.sh [sweep.json [obs.json]]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_sweep.json}"
+sweep_out="${1:-BENCH_sweep.json}"
+obs_out="${2:-BENCH_obs.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkMultiSeedSequential|BenchmarkMultiSeedParallel|BenchmarkEngineStep' \
-	-benchmem -count=1 . | tee "$raw"
-
-awk '
-/^Benchmark/ {
-	name = $1
-	sub(/-[0-9]+$/, "", name)
-	ns = allocs = bytes = steps = "null"
-	for (i = 2; i < NF; i++) {
-		if ($(i + 1) == "ns/op") ns = $i
-		else if ($(i + 1) == "allocs/op") allocs = $i
-		else if ($(i + 1) == "B/op") bytes = $i
-		else if ($(i + 1) == "simSteps/s") steps = $i
+# to_json parses `go test -bench` output on stdin into one JSON object
+# per benchmark with ns/op, allocs/op, B/op and simSteps/s.
+to_json() {
+	awk '
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		ns = allocs = bytes = steps = "null"
+		for (i = 2; i < NF; i++) {
+			if ($(i + 1) == "ns/op") ns = $i
+			else if ($(i + 1) == "allocs/op") allocs = $i
+			else if ($(i + 1) == "B/op") bytes = $i
+			else if ($(i + 1) == "simSteps/s") steps = $i
+		}
+		printf "%s{\"name\":\"%s\",\"ns_per_op\":%s,\"allocs_per_op\":%s,\"bytes_per_op\":%s,\"sim_steps_per_second\":%s}", sep, name, ns, allocs, bytes, steps
+		sep = ",\n  "
 	}
-	printf "%s{\"name\":\"%s\",\"ns_per_op\":%s,\"allocs_per_op\":%s,\"bytes_per_op\":%s,\"sim_steps_per_second\":%s}", sep, name, ns, allocs, bytes, steps
-	sep = ",\n  "
+	BEGIN { printf "{\"benchmarks\": [\n  " }
+	END { printf "\n]}\n" }
+	'
 }
-BEGIN { printf "{\"benchmarks\": [\n  " }
-END { printf "\n]}\n" }
-' "$raw" >"$out"
 
-echo "wrote $out"
+go test -run '^$' -bench 'BenchmarkMultiSeedSequential|BenchmarkMultiSeedParallel|BenchmarkEngineStep$' \
+	-benchmem -count=1 . | tee "$raw"
+to_json <"$raw" >"$sweep_out"
+echo "wrote $sweep_out"
+
+go test -run '^$' -bench 'BenchmarkEngineObsDisabled|BenchmarkEngineObsEnabled' \
+	-benchmem -count=1 . | tee "$raw"
+to_json <"$raw" >"$obs_out"
+echo "wrote $obs_out"

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# obs_smoke.sh — end-to-end smoke test of the observability pipeline.
+#
+# Runs hebsim with -obs on a 10-minute PR workload and asserts the three
+# artifacts exist, are non-empty, and parse: cmd/obscheck feeds the two
+# JSONL files back through the obs package's own readers (so the
+# round-trip the EXPERIMENTS.md diff recipe depends on is exercised for
+# real) and requires the Prometheus exposition to carry the engine
+# counters.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dir="$(mktemp -d)"
+trap 'rm -rf "$dir"' EXIT
+
+echo "== obs smoke: hebsim -exp run -obs =="
+go run ./cmd/hebsim -exp run -scheme HEB-D -workload PR -duration 10m \
+	-obs "$dir/out" >"$dir/stdout.txt"
+
+for f in events.jsonl decisions.jsonl metrics.prom; do
+	[[ -s "$dir/out/$f" ]] || { echo "obs smoke: $f missing or empty" >&2; exit 1; }
+done
+
+go run ./cmd/obscheck "$dir/out"
+
+echo "obs smoke: OK"

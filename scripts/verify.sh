@@ -2,8 +2,12 @@
 # verify.sh — the repo's verification tiers.
 #
 # Tier 1 (the CI gate): build + full test suite.
-# Tier 2: static analysis and the race detector across every package,
-# which exercises the parallel sweep runner under contention.
+# Tier 2: static analysis and the race detector. The focused -race pass
+# hits the observability/monitoring/runner packages first (the code with
+# real cross-goroutine traffic) for a fast failure, then the full suite
+# exercises the parallel sweep runner under contention.
+# Tier 3: the end-to-end observability smoke test (hebsim -obs artifacts
+# parse back through the obs readers).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,6 +17,10 @@ go test ./...
 
 echo "== tier 2: go vet + go test -race =="
 go vet ./...
+go test -race ./internal/obs/... ./internal/telemetry/... ./internal/runner/...
 go test -race ./...
+
+echo "== tier 3: observability smoke =="
+scripts/obs_smoke.sh
 
 echo "verify: OK"
