@@ -424,6 +424,44 @@ func BenchmarkEngineObsDisabled(b *testing.B) { benchEngineObs(b, false) }
 
 func BenchmarkEngineObsEnabled(b *testing.B) { benchEngineObs(b, true) }
 
+// benchEngineDeep runs the HEB-D hour with the deep-observability layer
+// (per-device probes, energy audit, span tracing) either fully off or
+// fully on. Disabled must match BenchmarkEngineStep's allocs/op exactly:
+// the nil guards keep the hot loop allocation-free when nothing listens.
+func benchEngineDeep(b *testing.B, enabled bool) {
+	b.Helper()
+	p := DefaultPrototype()
+	pr, err := WorkloadNamed("PR")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := pr.WithDuration(time.Hour).Trace(p); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	steps := 0
+	for i := 0; i < b.N; i++ {
+		q := p
+		if enabled {
+			q.ProbeEvery = 60
+			q.Audit = obs.AuditModeReport
+			q.Audits = obs.NewAuditLog()
+			q.Tracer = obs.NewTracer()
+		}
+		res, err := q.Run(HEBD, pr.WithDuration(time.Hour), RunOptions{Duration: time.Hour})
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += res.Steps
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "simSteps/s")
+}
+
+func BenchmarkEngineProbesDisabled(b *testing.B) { benchEngineDeep(b, false) }
+
+func BenchmarkEngineProbesEnabled(b *testing.B) { benchEngineDeep(b, true) }
+
 // benchMultiSeed measures the multi-seed sweep at a fixed worker count.
 // The seed × scheme grid is the repo's heaviest embarrassingly-parallel
 // sweep, so the Sequential/Parallel pair below is the headline

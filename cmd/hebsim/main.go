@@ -42,7 +42,12 @@ func main() {
 		patIn    = flag.String("pat-in", "", "warm-start HEB-S/HEB-D from a saved PAT (JSON)")
 		patOut   = flag.String("pat-out", "", "persist the learned PAT after -exp run (JSON)")
 		workers  = flag.Int("workers", 0, "worker pool size for sweeps and -exp all (0 = GOMAXPROCS)")
-		obsDir   = flag.String("obs", "", "write observability artifacts (events.jsonl, decisions.jsonl, metrics.prom) to this directory")
+		obsDir   = flag.String("obs", "", "write observability artifacts (events.jsonl, decisions.jsonl, metrics.prom, probes.jsonl, audits.jsonl) to this directory")
+		probes   = flag.Int("probes", 0, "sample per-device probes every N engine steps (0 = off); samples land in the -obs capture")
+		probeCap = flag.Int("probe-ring", 0, "retained probe samples per device (0 = obs package default)")
+		audit    = flag.String("audit", "off", "energy-conservation audit: off, report, or strict (strict aborts a run at its first violation)")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event span profile to this file (open in Perfetto; summarize with hebtrace)")
+		traceClk = flag.String("trace-clock", "virtual", "trace timestamps: virtual (deterministic) or wall (real elapsed time)")
 	)
 	flag.Parse()
 
@@ -56,12 +61,46 @@ func main() {
 		capture = obs.NewCapture()
 		p.Capture = capture
 	}
+	p.ProbeEvery = *probes
+	p.ProbeRing = *probeCap
+	mode, err := obs.ParseAuditMode(*audit)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hebsim:", err)
+		os.Exit(2)
+	}
+	p.Audit = mode
+	var audits *obs.AuditLog
+	if mode != obs.AuditModeOff {
+		audits = obs.NewAuditLog()
+		p.Audits = audits
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		switch *traceClk {
+		case "virtual":
+			tracer = obs.NewTracer()
+		case "wall":
+			tracer = obs.NewWallTracer()
+		default:
+			fmt.Fprintf(os.Stderr, "hebsim: unknown trace clock %q (want virtual or wall)\n", *traceClk)
+			os.Exit(2)
+		}
+		p.Tracer = tracer
+		p.TraceCell = *exp
+	}
 
-	var err error
 	if *exp == "run" {
 		err = runOnce(os.Stdout, p, *duration, *scheme, *wlName, *wlCSV, *patIn, *patOut)
 	} else {
 		err = run(os.Stdout, *exp, p, *duration, units.Power(*load), *workers)
+	}
+	if audits != nil {
+		reports := audits.Reports()
+		failed := audits.Failed()
+		fmt.Fprintf(os.Stderr, "hebsim: audited %d runs, %d failed\n", len(reports), len(failed))
+		for _, r := range failed {
+			fmt.Fprintf(os.Stderr, "hebsim: %s: %s\n", r.Run, r.Summary())
+		}
 	}
 	if err == nil && capture != nil {
 		if err = capture.WriteFiles(*obsDir); err == nil {
@@ -69,10 +108,28 @@ func main() {
 				len(capture.Runs()), *obsDir)
 		}
 	}
+	if err == nil && tracer != nil {
+		if err = writeTrace(*traceOut, tracer); err == nil {
+			fmt.Fprintf(os.Stderr, "hebsim: wrote span profile to %s\n", *traceOut)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hebsim:", err)
 		os.Exit(1)
 	}
+}
+
+// writeTrace exports the tracer as a Chrome trace-event JSON file.
+func writeTrace(path string, tracer *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // run dispatches one experiment, writing its table to w. workers bounds
@@ -169,10 +226,15 @@ func runAll(w io.Writer, p heb.Prototype, duration time.Duration, load units.Pow
 			}
 		}
 	}()
-	bufs, err := runner.MapProgress(context.Background(), len(suite), workers, &prog,
-		func(_ context.Context, i int) (*bytes.Buffer, error) {
+	// Each cell gets its own tracer track (cell span) and files its runs'
+	// span tracks under its experiment name; with the default virtual
+	// clock the exported trace stays byte-identical for any worker count.
+	bufs, err := runner.MapTraced(context.Background(), len(suite), workers, &prog, p.Tracer, "suite", suite,
+		func(_ context.Context, i int, _ *obs.Track) (*bytes.Buffer, error) {
 			var buf bytes.Buffer
-			if err := run(&buf, suite[i], p, duration, load, 1); err != nil {
+			q := p
+			q.TraceCell = suite[i]
+			if err := run(&buf, suite[i], q, duration, load, 1); err != nil {
 				return &buf, fmt.Errorf("%s: %w", suite[i], err)
 			}
 			return &buf, nil
@@ -495,6 +557,10 @@ func runOnce(w io.Writer, p heb.Prototype, duration time.Duration, scheme, wlNam
 	fmt.Fprintln(w, ascii.Chart("batt SoC", baSoC, 100))
 	fmt.Fprintln(w, ascii.Chart("SC SoC", scSoC, 100))
 	fmt.Fprintln(w, res)
+	wear := res.BatteryWear
+	fmt.Fprintf(w, "battery wear: %.2f Ah throughput (%.2f equivalent full cycles), %.3g weighted Ah of %.0f rated, life used %.3g%%, est lifetime %.1f y\n",
+		wear.ThroughputAh, wear.EquivalentFullCycles, wear.WeightedAh, wear.RatedAh,
+		wear.LifeFractionUsed*100, res.BatteryLifetimeYears)
 	return nil
 }
 

@@ -1,0 +1,65 @@
+// Command hebtrace summarizes a Chrome trace-event span profile written
+// by `hebsim -trace file.json`: it validates the trace against the
+// format rules Perfetto enforces and prints a per-phase rollup with self
+// time (nested spans subtracted), so hot phases are visible without
+// opening a viewer.
+//
+// Usage:
+//
+//	hebtrace trace.json
+//	hebtrace -top 5 trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"heb/internal/obs"
+)
+
+func main() {
+	top := flag.Int("top", 0, "print only the N hottest phases by self time (0 = all)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hebtrace [-top N] trace.json")
+		os.Exit(2)
+	}
+	if err := summarize(os.Stdout, flag.Arg(0), *top); err != nil {
+		fmt.Fprintln(os.Stderr, "hebtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func summarize(w *os.File, path string, top int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := obs.ReadChromeTrace(f)
+	if err != nil {
+		return err
+	}
+	if err := obs.ValidateTrace(events); err != nil {
+		return err
+	}
+	stats := obs.Rollup(events)
+	if top > 0 && top < len(stats) {
+		stats = stats[:top]
+	}
+	var totalSelf int64
+	for _, s := range stats {
+		totalSelf += s.SelfUS
+	}
+	fmt.Fprintf(w, "%d trace events, %d phases\n", len(events), len(stats))
+	fmt.Fprintf(w, "%-12s %10s %14s %14s %7s\n", "phase", "count", "total(us)", "self(us)", "self%")
+	for _, s := range stats {
+		pct := 0.0
+		if totalSelf > 0 {
+			pct = float64(s.SelfUS) / float64(totalSelf) * 100
+		}
+		fmt.Fprintf(w, "%-12s %10d %14d %14d %6.1f%%\n", s.Name, s.Count, s.TotalUS, s.SelfUS, pct)
+	}
+	return nil
+}

@@ -1,73 +1,146 @@
 // Command obscheck validates a directory of observability artifacts as
-// written by `hebsim -obs dir/` (or obs.Capture.WriteFiles): the two
-// JSONL files must parse through the obs package's own readers and the
-// Prometheus exposition must carry the engine counters. It prints a
+// written by `hebsim -obs dir/` (or obs.Capture.WriteFiles): the JSONL
+// files must parse through the obs package's own readers, the Prometheus
+// exposition must carry the engine counters and report zero dropped
+// events, every audit report must have passed, and a trace.json beside
+// the capture must satisfy the trace-event format rules. It prints a
 // one-line inventory and exits non-zero on any violation; verify.sh's
 // smoke tier drives it.
 //
 // Usage:
 //
-//	obscheck dir/
+//	obscheck [-allow-drops] dir/
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"heb/internal/obs"
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: obscheck dir/")
+	allowDrops := flag.Bool("allow-drops", false, "tolerate a capture whose per-run event cap dropped events")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: obscheck [-allow-drops] dir/")
 		os.Exit(2)
 	}
-	events, decisions, promBytes, err := check(os.Args[1])
+	inv, err := check(flag.Arg(0), *allowDrops)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "obscheck:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("obscheck: %d events, %d decision records, %d bytes of metrics\n",
-		events, decisions, promBytes)
+	fmt.Printf("obscheck: %s\n", inv)
 }
 
-func check(dir string) (events, decisions, promBytes int, err error) {
+// check validates every artifact in dir and returns a one-line inventory.
+func check(dir string, allowDrops bool) (string, error) {
 	ef, err := os.Open(filepath.Join(dir, "events.jsonl"))
 	if err != nil {
-		return 0, 0, 0, err
+		return "", err
 	}
 	defer ef.Close()
 	evs, err := obs.ReadEvents(ef)
 	if err != nil {
-		return 0, 0, 0, fmt.Errorf("events.jsonl: %w", err)
+		return "", fmt.Errorf("events.jsonl: %w", err)
 	}
 	if len(evs) == 0 {
-		return 0, 0, 0, fmt.Errorf("events.jsonl holds no events")
+		return "", fmt.Errorf("events.jsonl holds no events")
 	}
 
 	df, err := os.Open(filepath.Join(dir, "decisions.jsonl"))
 	if err != nil {
-		return 0, 0, 0, err
+		return "", err
 	}
 	defer df.Close()
 	recs, err := obs.ReadDecisions(df)
 	if err != nil {
-		return 0, 0, 0, fmt.Errorf("decisions.jsonl: %w", err)
+		return "", fmt.Errorf("decisions.jsonl: %w", err)
 	}
 	if len(recs) == 0 {
-		return 0, 0, 0, fmt.Errorf("decisions.jsonl holds no records")
+		return "", fmt.Errorf("decisions.jsonl holds no records")
 	}
 
 	prom, err := os.ReadFile(filepath.Join(dir, "metrics.prom"))
 	if err != nil {
-		return 0, 0, 0, err
+		return "", err
 	}
 	for _, want := range []string{"heb_engine_steps_total", "heb_control_slots_total"} {
 		if !strings.Contains(string(prom), want) {
-			return 0, 0, 0, fmt.Errorf("metrics.prom missing %s", want)
+			return "", fmt.Errorf("metrics.prom missing %s", want)
 		}
 	}
-	return len(evs), len(recs), len(prom), nil
+	dropped, err := counterValue(string(prom), "heb_obs_events_dropped_total")
+	if err != nil {
+		return "", fmt.Errorf("metrics.prom: %w", err)
+	}
+	if dropped > 0 && !allowDrops {
+		return "", fmt.Errorf("capture dropped %g events (per-run cap hit; raise the cap or pass -allow-drops)", dropped)
+	}
+
+	inv := fmt.Sprintf("%d events, %d decision records, %d bytes of metrics", len(evs), len(recs), len(prom))
+
+	// Probe, audit and trace artifacts are optional; validate whichever
+	// are present.
+	if pf, err := os.Open(filepath.Join(dir, "probes.jsonl")); err == nil {
+		samples, rerr := obs.ReadProbes(pf)
+		pf.Close()
+		if rerr != nil {
+			return "", fmt.Errorf("probes.jsonl: %w", rerr)
+		}
+		if len(samples) == 0 {
+			return "", fmt.Errorf("probes.jsonl holds no samples")
+		}
+		inv += fmt.Sprintf(", %d probe samples", len(samples))
+	}
+	if af, err := os.Open(filepath.Join(dir, "audits.jsonl")); err == nil {
+		reports, rerr := obs.ReadAudits(af)
+		af.Close()
+		if rerr != nil {
+			return "", fmt.Errorf("audits.jsonl: %w", rerr)
+		}
+		if len(reports) == 0 {
+			return "", fmt.Errorf("audits.jsonl holds no reports")
+		}
+		for _, r := range reports {
+			if !r.Passed {
+				return "", fmt.Errorf("audits.jsonl: %s: %s", r.Run, r.Summary())
+			}
+		}
+		inv += fmt.Sprintf(", %d audit reports (all passed)", len(reports))
+	}
+	if tf, err := os.Open(filepath.Join(dir, "trace.json")); err == nil {
+		events, rerr := obs.ReadChromeTrace(tf)
+		tf.Close()
+		if rerr != nil {
+			return "", fmt.Errorf("trace.json: %w", rerr)
+		}
+		if verr := obs.ValidateTrace(events); verr != nil {
+			return "", fmt.Errorf("trace.json: %w", verr)
+		}
+		inv += fmt.Sprintf(", %d trace events", len(events))
+	}
+	return inv, nil
+}
+
+// counterValue extracts an unlabeled counter's value from a Prometheus
+// exposition.
+func counterValue(prom, name string) (float64, error) {
+	for _, line := range strings.Split(prom, "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad %s value %q", name, rest)
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("missing %s", name)
 }

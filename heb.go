@@ -127,6 +127,37 @@ type Prototype struct {
 	// units (runner.Progress.AddUnits), giving parallel sweeps a live
 	// steps/s readout. Observe-only: it never affects results.
 	Progress *runner.Progress
+
+	// ProbeEvery enables per-device probes: every ProbeEvery engine steps
+	// each battery string and SC bank is sampled (SoC, voltage, charge
+	// wells, Ah-throughput) into a per-run recorder whose samples land in
+	// the Capture's probes.jsonl. Zero (the default) disables probes and
+	// costs nothing.
+	ProbeEvery int
+	// ProbeRing bounds the retained samples per device (0 selects
+	// obs.DefaultProbeRing); older samples are overwritten and counted.
+	ProbeRing int
+
+	// Audit selects the energy-conservation auditor mode. AuditModeReport
+	// attaches per-run AuditReports to the Capture and Audits collectors;
+	// AuditModeStrict additionally aborts a run at its first violation and
+	// surfaces it as an error from Run.
+	Audit obs.AuditMode
+	// Audits, when set, collects every run's AuditReport (thread-safe, so
+	// one collector may serve a parallel sweep).
+	Audits *obs.AuditLog
+
+	// Tracer, when set, records each run's span hierarchy (run → slot
+	// plan/finish → step batches) on a fresh per-run track named by the
+	// run key, so parallel sweeps never share a (single-writer) track.
+	// Virtual-clock tracers (obs.NewTracer) keep the exported trace
+	// byte-identical for any worker count; wall-clock tracers profile
+	// real elapsed time instead.
+	Tracer *obs.Tracer
+	// TraceCell is the trace group (Perfetto process) this prototype's
+	// runs are filed under; sweeps set it per experiment cell. Empty uses
+	// "run".
+	TraceCell string
 }
 
 // DefaultPrototype returns the paper's Section 6 configuration.
@@ -428,6 +459,11 @@ func (p Prototype) Run(id SchemeID, workload Workload, opts RunOptions) (sim.Res
 			}
 		}
 	}
+	var probes *obs.ProbeRecorder
+	if p.ProbeEvery > 0 {
+		probes = obs.NewProbeRecorder(p.ProbeRing)
+	}
+	auditor := obs.NewAuditor(p.Audit, 0)
 
 	ctrl, err := core.NewController(core.Config{
 		SmallPeakWatts:  p.SmallPeakWatts,
@@ -455,6 +491,24 @@ func (p Prototype) Run(id SchemeID, workload Workload, opts RunOptions) (sim.Res
 	tr, err := workload.Trace(p)
 	if err != nil {
 		return sim.Result{}, err
+	}
+
+	// The run key depends only on configuration (the engine resolves a
+	// zero duration to the trace length, mirrored here), so it is known
+	// before the run and can label the tracer track and audit report as
+	// well as the capture artifact.
+	runDuration := opts.Duration
+	if runDuration == 0 {
+		runDuration = tr.Duration()
+	}
+	key := p.runKey(id, workload, runDuration, opts)
+	var span *obs.Track
+	if p.Tracer != nil {
+		group := p.TraceCell
+		if group == "" {
+			group = "run"
+		}
+		span = p.Tracer.NewTrack(group, key)
 	}
 
 	charge := sim.ChargeSupercapFirst
@@ -489,6 +543,10 @@ func (p Prototype) Run(id SchemeID, workload Workload, opts RunOptions) (sim.Res
 		ChargePriority: charge,
 		Observer:       opts.Observer,
 		Events:         events,
+		Probes:         probes,
+		ProbeEvery:     p.ProbeEvery,
+		Audit:          auditor,
+		Spans:          span,
 	})
 	if err != nil {
 		return sim.Result{}, err
@@ -505,9 +563,17 @@ func (p Prototype) Run(id SchemeID, workload Workload, opts RunOptions) (sim.Res
 			opts.TableSink(table)
 		}
 	}
+	var audit obs.AuditReport
+	if auditor != nil {
+		audit = auditor.Report()
+		audit.Run = key
+		if p.Audits != nil {
+			p.Audits.Add(key, audit)
+		}
+	}
 	if p.Capture != nil {
 		artifact := obs.RunArtifact{
-			Key:           p.runKey(id, workload, res, opts),
+			Key:           key,
 			Events:        capLog.Events(),
 			EventsDropped: capLog.Dropped(),
 			Decisions:     capDecisions.Records(),
@@ -515,6 +581,13 @@ func (p Prototype) Run(id SchemeID, workload Workload, opts RunOptions) (sim.Res
 			MismatchSteps: int64(res.MismatchSteps),
 			Slots:         int64(res.SlotCount),
 			RelaySwitches: map[string]int64{},
+		}
+		if probes != nil {
+			artifact.Probes = probes.Samples()
+			artifact.ProbesDropped = probes.Dropped()
+		}
+		if auditor != nil {
+			artifact.Audit = &audit
 		}
 		for src, n := range res.RelaySwitches {
 			if n > 0 {
@@ -528,6 +601,9 @@ func (p Prototype) Run(id SchemeID, workload Workload, opts RunOptions) (sim.Res
 		}
 		p.Capture.Contribute(artifact)
 	}
+	if auditor.Strict() && !audit.Passed {
+		return res, fmt.Errorf("heb: energy audit failed for %s: %s", key, audit.Summary())
+	}
 	return res, nil
 }
 
@@ -537,7 +613,7 @@ func (p Prototype) Run(id SchemeID, workload Workload, opts RunOptions) (sim.Res
 // thresholds, ...) so two runs share a key only when their configuration
 // is the same experiment cell, making multi-run artifact files
 // independent of worker scheduling.
-func (p Prototype) runKey(id SchemeID, workload Workload, res sim.Result, opts RunOptions) string {
+func (p Prototype) runKey(id SchemeID, workload Workload, duration time.Duration, opts RunOptions) string {
 	budget := p.Budget
 	if opts.Budget > 0 {
 		budget = opts.Budget
@@ -547,13 +623,17 @@ func (p Prototype) runKey(id SchemeID, workload Workload, res sim.Result, opts R
 		feed = fmt.Sprintf("%T", opts.Feed)
 	}
 	h := fnv.New64a()
+	// Pointer-valued observability fields would hash as addresses, making
+	// keys depend on scheduling; they never influence results, so nil them.
 	q := p
 	q.Capture = nil
 	q.Progress = nil
+	q.Audits = nil
+	q.Tracer = nil
 	fmt.Fprintf(h, "%+v", q)
 	fmt.Fprintf(h, "|%T|%T|table=%v", opts.PeakPredictor, opts.ValleyPredictor, opts.Table != nil)
 	return fmt.Sprintf("%s|%s|%s|seed=%d|n=%d|budget=%g|storage=%g|scratio=%g|topo=%d|feed=%s|renew=%v|noise=%g|preage=%g|cfg=%016x",
-		id, workload.Name(), res.Duration, p.Seed, p.NumServers, float64(budget),
+		id, workload.Name(), duration, p.Seed, p.NumServers, float64(budget),
 		p.StorageWh, p.SCRatio, int(p.Topology), feed, opts.Renewable,
 		p.SensorNoise, p.BatteryPreAge, h.Sum64())
 }

@@ -1,0 +1,102 @@
+package esd
+
+import (
+	"math"
+
+	"heb/internal/units"
+)
+
+// ProbeSnapshot is a point-in-time view of a device's internal state for
+// the observability layer: state of charge, open-circuit voltage, the
+// KiBaM charge wells, and the cumulative energy ledger. It deliberately
+// exposes the *raw* well contents (not clamped to the usable window) so
+// the energy-conservation auditor can catch integration bugs — a negative
+// well or charge above chemical capacity is exactly the kind of silent
+// model-fidelity failure that never shows up in clamped SoC.
+type ProbeSnapshot struct {
+	// SoC is the usable-window state of charge in [0, 1].
+	SoC float64
+	// VoltageV is the present open-circuit voltage.
+	VoltageV float64
+	// VMinV and VMaxV bound the device's legal open-circuit voltage range
+	// (the auditor flags excursions).
+	VMinV, VMaxV float64
+	// AvailAh and BoundAh are the KiBaM available and bound wells in
+	// ampere-hours, unclamped. Super-capacitors report their whole usable
+	// charge as available and zero bound.
+	AvailAh, BoundAh float64
+	// CapacityAh is the total chemical charge capacity in ampere-hours.
+	CapacityAh float64
+	// ThroughputAh is the cumulative discharged charge.
+	ThroughputAh float64
+	// EnergyInWh, EnergyOutWh and LossWh are the cumulative ledger at the
+	// device terminals, in watt-hours.
+	EnergyInWh, EnergyOutWh, LossWh float64
+	// StoredWh and CapacityWh are the usable store and window, in
+	// watt-hours.
+	StoredWh, CapacityWh float64
+}
+
+// NetOutWh is the cumulative net energy the device has pushed out at its
+// terminals (discharged minus charged); the probe recorder differentiates
+// it into a mean terminal power series.
+func (s ProbeSnapshot) NetOutWh() float64 { return s.EnergyOutWh - s.EnergyInWh }
+
+// Prober is implemented by devices that can expose a ProbeSnapshot.
+type Prober interface {
+	ProbeSnapshot() ProbeSnapshot
+}
+
+var (
+	_ Prober = (*Battery)(nil)
+	_ Prober = (*Supercap)(nil)
+	_ Prober = Null{}
+)
+
+// ProbeSnapshot implements Prober with the raw KiBaM wells.
+func (b *Battery) ProbeSnapshot() ProbeSnapshot {
+	vn := float64(b.cfg.NominalVoltage)
+	return ProbeSnapshot{
+		SoC:          b.SoC(),
+		VoltageV:     float64(b.ocv()),
+		VMinV:        b.cfg.VEmptyFrac * vn,
+		VMaxV:        b.cfg.VFullFrac * vn,
+		AvailAh:      units.Charge(b.q1).Ah(),
+		BoundAh:      units.Charge(b.q2).Ah(),
+		CapacityAh:   units.Charge(b.qMax()).Ah(),
+		ThroughputAh: b.stats.ThroughputAh,
+		EnergyInWh:   b.stats.EnergyIn.Wh(),
+		EnergyOutWh:  b.stats.EnergyOut.Wh(),
+		LossWh:       b.stats.Loss.Wh(),
+		StoredWh:     b.Stored().Wh(),
+		CapacityWh:   b.Capacity().Wh(),
+	}
+}
+
+// ProbeSnapshot implements Prober: the capacitor's usable charge window
+// maps onto the available well; there is no bound charge. Self-discharge
+// leak can rest the voltage below the DoD window floor while the device
+// sits depleted — the usable well is then empty, not negative, so the
+// available charge clamps at zero (unlike battery wells, where a negative
+// value is always an integration bug worth auditing).
+func (s *Supercap) ProbeSnapshot() ProbeSnapshot {
+	vf := s.vFloor()
+	vmax := float64(s.cfg.VMax)
+	c := s.cfg.Capacitance
+	return ProbeSnapshot{
+		SoC:         s.SoC(),
+		VoltageV:    s.v,
+		VMinV:       float64(s.cfg.VMin),
+		VMaxV:       vmax,
+		AvailAh:     units.Charge(c * math.Max(s.v-vf, 0)).Ah(),
+		CapacityAh:  units.Charge(c * (vmax - vf)).Ah(),
+		EnergyInWh:  s.stats.EnergyIn.Wh(),
+		EnergyOutWh: s.stats.EnergyOut.Wh(),
+		LossWh:      s.stats.Loss.Wh(),
+		StoredWh:    s.Stored().Wh(),
+		CapacityWh:  s.Capacity().Wh(),
+	}
+}
+
+// ProbeSnapshot implements Prober for the no-storage device.
+func (Null) ProbeSnapshot() ProbeSnapshot { return ProbeSnapshot{} }

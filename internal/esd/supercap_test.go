@@ -289,3 +289,31 @@ func TestSupercapNoThroughputAh(t *testing.T) {
 		t.Errorf("SC recorded battery wear: %+v", st)
 	}
 }
+
+func TestSupercapProbeAvailClampsAtEmpty(t *testing.T) {
+	cfg := DefaultSupercapConfig()
+	cfg.DoD = 0.8
+	s, err := NewSupercap(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain to the window floor, then let self-discharge rest the
+	// voltage below it.
+	for i := 0; i < 10000 && !s.Depleted(); i++ {
+		s.Discharge(2000, time.Second)
+	}
+	if !s.Depleted() {
+		t.Fatal("supercap never depleted")
+	}
+	s.Rest(48 * time.Hour)
+	if v, vf := float64(s.Voltage()), s.vFloor(); v >= vf {
+		t.Fatalf("leak did not rest voltage (%g V) below the window floor (%g V); test lost its point", v, vf)
+	}
+	snap := s.ProbeSnapshot()
+	if snap.AvailAh != 0 {
+		t.Errorf("available charge %g Ah below the empty window, want exactly 0", snap.AvailAh)
+	}
+	if snap.SoC != 0 {
+		t.Errorf("SoC %g on a rested-empty device", snap.SoC)
+	}
+}

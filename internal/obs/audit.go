@@ -1,0 +1,385 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+)
+
+// AuditMode selects how much the energy-conservation auditor interferes
+// with a run.
+type AuditMode uint8
+
+const (
+	// AuditModeOff disables auditing entirely (the zero value): no ledger, no
+	// checks, no allocations.
+	AuditModeOff AuditMode = iota
+	// AuditModeReport runs the full ledger and bound checks and reports
+	// the result, but never interrupts the run.
+	AuditModeReport
+	// AuditModeStrict is AuditModeReport plus fail-fast: the engine aborts
+	// the run at the first violation and the caller surfaces an error.
+	AuditModeStrict
+)
+
+// String names the mode as accepted by ParseAuditMode.
+func (m AuditMode) String() string {
+	switch m {
+	case AuditModeOff:
+		return "off"
+	case AuditModeReport:
+		return "report"
+	case AuditModeStrict:
+		return "strict"
+	default:
+		return fmt.Sprintf("AuditMode(%d)", int(m))
+	}
+}
+
+// ParseAuditMode inverts String.
+func ParseAuditMode(s string) (AuditMode, error) {
+	switch s {
+	case "off":
+		return AuditModeOff, nil
+	case "report":
+		return AuditModeReport, nil
+	case "strict":
+		return AuditModeStrict, nil
+	}
+	return AuditModeOff, fmt.Errorf("obs: unknown audit mode %q (want off, report or strict)", s)
+}
+
+// AuditKind classifies auditor findings.
+type AuditKind uint8
+
+const (
+	// AuditLedgerDrift is a per-step bus-ledger mismatch above tolerance.
+	AuditLedgerDrift AuditKind = iota
+	// AuditSoCBound is a device state of charge outside [0, 1] or a
+	// negative/overfull charge well.
+	AuditSoCBound
+	// AuditVoltageBound is a device open-circuit voltage outside its legal
+	// window.
+	AuditVoltageBound
+	// AuditChargeBound is stored charge above chemical capacity or a
+	// negative well.
+	AuditChargeBound
+	// AuditRelayExclusivity is a relay fabric whose per-source totals do
+	// not partition the servers.
+	AuditRelayExclusivity
+
+	numAuditKinds // sentinel
+)
+
+var auditKindNames = [numAuditKinds]string{
+	"ledger_drift", "soc_bound", "voltage_bound", "charge_bound", "relay_exclusivity",
+}
+
+// String names the kind as it appears in audit artifacts.
+func (k AuditKind) String() string {
+	if int(k) < len(auditKindNames) {
+		return auditKindNames[k]
+	}
+	return fmt.Sprintf("AuditKind(%d)", int(k))
+}
+
+// MarshalJSON encodes the kind as its string name.
+func (k AuditKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON decodes a string kind name.
+func (k *AuditKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for i, name := range auditKindNames {
+		if name == s {
+			*k = AuditKind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown audit kind %q", s)
+}
+
+// AuditEvent is one typed violation the auditor observed.
+type AuditEvent struct {
+	// Seconds is the simulation time of the finding.
+	Seconds float64 `json:"t"`
+	// Kind classifies the violation.
+	Kind AuditKind `json:"kind"`
+	// Device names the offending device, empty for bus/fabric findings.
+	Device string `json:"device,omitempty"`
+	// Value and Limit quantify the violation (e.g. drift and tolerance).
+	Value float64 `json:"value"`
+	Limit float64 `json:"limit"`
+	// Detail is free-form context.
+	Detail string `json:"detail,omitempty"`
+}
+
+// DeviceResidual is one device's run-long energy ledger residual:
+// In − Out − Loss − ΔStored at the device terminals, in watt-hours. The
+// residual is informational, not gated: stored energy is valued at the
+// moving open-circuit voltage, so revaluation keeps it from closing to
+// zero even in a correct model.
+type DeviceResidual struct {
+	Device     string  `json:"device"`
+	InWh       float64 `json:"in_wh"`
+	OutWh      float64 `json:"out_wh"`
+	LossWh     float64 `json:"loss_wh"`
+	DeltaWh    float64 `json:"delta_wh"`
+	ResidualWh float64 `json:"residual_wh"`
+}
+
+// auditEventCap bounds the stored violation events per run; overflow is
+// counted in AuditReport.Violations but not stored.
+const auditEventCap = 32
+
+// Auditor accumulates the per-step energy-conservation ledger of one run
+// and collects typed violations. It is not safe for concurrent use; each
+// run owns its own auditor.
+type Auditor struct {
+	mode      AuditMode
+	tolerance float64
+
+	steps       int64
+	inWh, outWh float64
+	maxStepWh   float64 // largest single-step |in-out| seen
+
+	violations int64
+	events     []AuditEvent
+	violated   bool
+
+	devices []DeviceResidual
+	started map[string]int
+}
+
+// DefaultAuditTolerance is the relative ledger drift above which a run
+// fails its audit.
+const DefaultAuditTolerance = 1e-6
+
+// NewAuditor builds an auditor for mode; tolerance <= 0 selects
+// DefaultAuditTolerance. A nil auditor is valid and disabled.
+func NewAuditor(mode AuditMode, tolerance float64) *Auditor {
+	if mode == AuditModeOff {
+		return nil
+	}
+	if tolerance <= 0 {
+		tolerance = DefaultAuditTolerance
+	}
+	return &Auditor{mode: mode, tolerance: tolerance, started: make(map[string]int)}
+}
+
+// Mode returns the auditor's mode (AuditModeOff for nil).
+func (a *Auditor) Mode() AuditMode {
+	if a == nil {
+		return AuditModeOff
+	}
+	return a.mode
+}
+
+// Strict reports whether the auditor wants fail-fast behaviour.
+func (a *Auditor) Strict() bool { return a != nil && a.mode == AuditModeStrict }
+
+// Violated reports whether any check has failed so far; in strict mode the
+// engine stops stepping once this turns true.
+func (a *Auditor) Violated() bool { return a != nil && a.violated }
+
+// RecordStep feeds one step's bus ledger: inWh is the energy entering the
+// bus boundary this step, outWh the energy leaving it (load, charge,
+// modeled losses, spill). Per-step mismatch beyond tolerance (relative to
+// the step's magnitude, with an absolute floor) is flagged as drift.
+func (a *Auditor) RecordStep(sec float64, inWh, outWh float64) {
+	a.steps++
+	a.inWh += inWh
+	a.outWh += outWh
+	diff := math.Abs(inWh - outWh)
+	if diff > a.maxStepWh {
+		a.maxStepWh = diff
+	}
+	scale := math.Max(math.Abs(inWh), math.Abs(outWh))
+	// The absolute floor keeps idle steps (microwatt-hours of leakage)
+	// from tripping on float noise.
+	if diff > a.tolerance*scale && diff > 1e-9 {
+		a.Flag(AuditEvent{
+			Seconds: sec,
+			Kind:    AuditLedgerDrift,
+			Value:   diff,
+			Limit:   a.tolerance * scale,
+			Detail:  fmt.Sprintf("in %.9g Wh, out %.9g Wh", inWh, outWh),
+		})
+	}
+}
+
+// Flag records one violation event, deduplicating storage past the cap.
+func (a *Auditor) Flag(e AuditEvent) {
+	a.violated = true
+	a.violations++
+	if len(a.events) < auditEventCap {
+		a.events = append(a.events, e)
+	}
+}
+
+// StartDevice opens a device's run-long terminal ledger with its starting
+// cumulative stats and stored energy (all watt-hours).
+func (a *Auditor) StartDevice(device string, inWh, outWh, lossWh, storedWh float64) {
+	a.started[device] = len(a.devices)
+	a.devices = append(a.devices, DeviceResidual{
+		Device:  device,
+		InWh:    -inWh,
+		OutWh:   -outWh,
+		LossWh:  -lossWh,
+		DeltaWh: -storedWh,
+	})
+}
+
+// EndDevice closes a device ledger with its final cumulative stats and
+// stored energy; the residual becomes In − Out − Loss − ΔStored.
+func (a *Auditor) EndDevice(device string, inWh, outWh, lossWh, storedWh float64) {
+	i, ok := a.started[device]
+	if !ok {
+		return
+	}
+	d := &a.devices[i]
+	d.InWh += inWh
+	d.OutWh += outWh
+	d.LossWh += lossWh
+	d.DeltaWh += storedWh
+	d.ResidualWh = d.InWh - d.OutWh - d.LossWh - d.DeltaWh
+}
+
+// AuditReport is the end-of-run verdict of one auditor.
+type AuditReport struct {
+	// Mode the audit ran in.
+	Mode string `json:"mode"`
+	// Steps is how many steps fed the ledger.
+	Steps int64 `json:"steps"`
+	// EnergyInWh and EnergyOutWh are the run totals over the bus boundary.
+	EnergyInWh  float64 `json:"in_wh"`
+	EnergyOutWh float64 `json:"out_wh"`
+	// DriftWh is the accumulated signed ledger drift (in − out).
+	DriftWh float64 `json:"drift_wh"`
+	// RelDrift is |DriftWh| relative to the larger run total.
+	RelDrift float64 `json:"rel_drift"`
+	// MaxStepWh is the largest single-step absolute mismatch.
+	MaxStepWh float64 `json:"max_step_wh"`
+	// Tolerance is the relative drift limit the run was held to.
+	Tolerance float64 `json:"tolerance"`
+	// Violations counts every flagged event, including ones past the
+	// storage cap.
+	Violations int64 `json:"violations"`
+	// Events holds the first stored violations (capped).
+	Events []AuditEvent `json:"events,omitempty"`
+	// Devices holds the informational per-device terminal residuals.
+	Devices []DeviceResidual `json:"devices,omitempty"`
+	// Passed is true when no violation fired and the run-long relative
+	// drift is within tolerance.
+	Passed bool `json:"passed"`
+	// Run labels the originating run in multi-run artifacts.
+	Run string `json:"run,omitempty"`
+}
+
+// Report closes the audit and returns the verdict. Safe on a nil auditor
+// (returns a zero report marked passed with mode off).
+func (a *Auditor) Report() AuditReport {
+	if a == nil {
+		return AuditReport{Mode: AuditModeOff.String(), Passed: true}
+	}
+	r := AuditReport{
+		Mode:        a.mode.String(),
+		Steps:       a.steps,
+		EnergyInWh:  a.inWh,
+		EnergyOutWh: a.outWh,
+		DriftWh:     a.inWh - a.outWh,
+		MaxStepWh:   a.maxStepWh,
+		Tolerance:   a.tolerance,
+		Violations:  a.violations,
+		Events:      append([]AuditEvent(nil), a.events...),
+		Devices:     append([]DeviceResidual(nil), a.devices...),
+	}
+	if scale := math.Max(math.Abs(a.inWh), math.Abs(a.outWh)); scale > 0 {
+		r.RelDrift = math.Abs(r.DriftWh) / scale
+	}
+	r.Passed = !a.violated && r.RelDrift <= a.tolerance
+	return r
+}
+
+// Summary renders a one-line human verdict.
+func (r AuditReport) Summary() string {
+	verdict := "PASS"
+	if !r.Passed {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("audit %s: %s steps=%d in=%.3fWh out=%.3fWh drift=%.3gWh rel=%.3g violations=%d",
+		verdict, r.Mode, r.Steps, r.EnergyInWh, r.EnergyOutWh, r.DriftWh, r.RelDrift, r.Violations)
+}
+
+// AuditLog collects per-run audit reports across a sweep. It is safe for
+// concurrent use.
+type AuditLog struct {
+	mu      sync.Mutex
+	reports []AuditReport
+}
+
+// NewAuditLog builds an empty collector.
+func NewAuditLog() *AuditLog { return &AuditLog{} }
+
+// Add stores one run's report under its run key.
+func (l *AuditLog) Add(run string, r AuditReport) {
+	r.Run = run
+	l.mu.Lock()
+	l.reports = append(l.reports, r)
+	l.mu.Unlock()
+}
+
+// Reports returns the stored reports sorted by run key.
+func (l *AuditLog) Reports() []AuditReport {
+	l.mu.Lock()
+	out := append([]AuditReport(nil), l.reports...)
+	l.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Run < out[j].Run })
+	return out
+}
+
+// Failed returns the stored reports that did not pass, sorted by run key.
+func (l *AuditLog) Failed() []AuditReport {
+	var out []AuditReport
+	for _, r := range l.Reports() {
+		if !r.Passed {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// WriteAuditsJSONL writes reports one JSON object per line.
+func WriteAuditsJSONL(w io.Writer, reports []AuditReport) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range reports {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("obs: write audits: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAudits parses a JSONL stream written by WriteAuditsJSONL.
+func ReadAudits(r io.Reader) ([]AuditReport, error) {
+	var out []AuditReport
+	dec := json.NewDecoder(r)
+	for {
+		var a AuditReport
+		if err := dec.Decode(&a); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("obs: read audits: %w", err)
+		}
+		out = append(out, a)
+	}
+}

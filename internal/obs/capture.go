@@ -28,6 +28,13 @@ type RunArtifact struct {
 	RelaySwitches map[string]int64
 	PATLookups    int64
 	PATMisses     int64
+	// Probes holds the run's per-device probe samples (probes.jsonl);
+	// ProbesDropped counts samples the per-device ring overwrote.
+	Probes        []ProbeSample
+	ProbesDropped int64
+	// Audit is the run's energy-conservation verdict (audits.jsonl), nil
+	// when the run was not audited.
+	Audit *AuditReport
 }
 
 // Capture aggregates the per-run observability artifacts of a sweep and
@@ -75,6 +82,14 @@ func (c *Capture) Contribute(a RunArtifact) {
 		if a.Decisions[i].Run == "" {
 			a.Decisions[i].Run = a.Key
 		}
+	}
+	for i := range a.Probes {
+		if a.Probes[i].Run == "" {
+			a.Probes[i].Run = a.Key
+		}
+	}
+	if a.Audit != nil && a.Audit.Run == "" {
+		a.Audit.Run = a.Key
 	}
 	c.mu.Lock()
 	c.runs = append(c.runs, a)
@@ -124,6 +139,14 @@ func artifactFingerprint(a RunArtifact) string {
 			d.Slot, d.Mode, d.Ratio, d.SmallPeak,
 			d.PredictedPeakW, d.ActualPeakW, d.SCFrac, d.BAFrac, d.PATLookups)
 	}
+	fmt.Fprintf(&sb, "|probes=%d,%d", len(a.Probes), a.ProbesDropped)
+	for _, s := range a.Probes {
+		fmt.Fprintf(&sb, "|%g:%s:%g:%g:%g:%g:%g:%g", s.Seconds, s.Device, s.SoC, s.VoltageV, s.PowerW, s.AvailAh, s.BoundAh, s.ThroughputAh)
+	}
+	if a.Audit != nil {
+		fmt.Fprintf(&sb, "|audit=%s:%d:%g:%g:%d:%v", a.Audit.Mode, a.Audit.Steps,
+			a.Audit.DriftWh, a.Audit.RelDrift, a.Audit.Violations, a.Audit.Passed)
+	}
 	return sb.String()
 }
 
@@ -148,6 +171,19 @@ func (c *Capture) Registry() *Registry {
 			reg.Counter("heb_obs_events_total", "Events recorded by kind.",
 				Label{Name: "kind", Value: kind.String()}).Add(float64(n))
 		}
+		reg.Counter("heb_obs_probes_total", "Probe samples retained.").Add(float64(len(a.Probes)))
+		reg.Counter("heb_obs_probes_dropped_total", "Probe samples overwritten by the per-device ring.").Add(float64(a.ProbesDropped))
+		for _, s := range a.Probes {
+			reg.Histogram("heb_probe_soc", "Probed device state of charge.",
+				LinearBuckets(0, 0.1, 10)).Observe(s.SoC)
+			reg.Histogram("heb_probe_power_watts", "Probed mean net terminal power (positive discharging).",
+				LinearBuckets(-200, 50, 10)).Observe(s.PowerW)
+		}
+		if a.Audit != nil {
+			reg.Counter("heb_audit_runs_total", "Audited runs by verdict.",
+				Label{Name: "passed", Value: fmt.Sprintf("%v", a.Audit.Passed)}).Add(1)
+			reg.Counter("heb_audit_violations_total", "Audit violations flagged.").Add(float64(a.Audit.Violations))
+		}
 	}
 	return reg
 }
@@ -161,8 +197,9 @@ func countKinds(events []Event) map[EventKind]int {
 }
 
 // WriteFiles writes events.jsonl, decisions.jsonl and metrics.prom into
-// dir, creating it if needed. Output depends only on the contributed
-// artifacts, never on contribution order.
+// dir, creating it if needed; probes.jsonl and audits.jsonl follow
+// whenever any run contributed probe samples or an audit report. Output
+// depends only on the contributed artifacts, never on contribution order.
 func (c *Capture) WriteFiles(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("obs: capture dir: %w", err)
@@ -171,9 +208,15 @@ func (c *Capture) WriteFiles(dir string) error {
 
 	var events []Event
 	var decisions []DecisionRecord
+	var probes []ProbeSample
+	var audits []AuditReport
 	for _, a := range runs {
 		events = append(events, a.Events...)
 		decisions = append(decisions, a.Decisions...)
+		probes = append(probes, a.Probes...)
+		if a.Audit != nil {
+			audits = append(audits, *a.Audit)
+		}
 	}
 
 	if err := writeTo(filepath.Join(dir, "events.jsonl"), func(f *os.File) error {
@@ -185,6 +228,20 @@ func (c *Capture) WriteFiles(dir string) error {
 		return WriteDecisionsJSONL(f, decisions)
 	}); err != nil {
 		return err
+	}
+	if len(probes) > 0 {
+		if err := writeTo(filepath.Join(dir, "probes.jsonl"), func(f *os.File) error {
+			return WriteProbesJSONL(f, probes)
+		}); err != nil {
+			return err
+		}
+	}
+	if len(audits) > 0 {
+		if err := writeTo(filepath.Join(dir, "audits.jsonl"), func(f *os.File) error {
+			return WriteAuditsJSONL(f, audits)
+		}); err != nil {
+			return err
+		}
 	}
 	return writeTo(filepath.Join(dir, "metrics.prom"), func(f *os.File) error {
 		return c.Registry().WritePrometheus(f)

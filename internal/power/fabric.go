@@ -459,6 +459,17 @@ func (f *Fabric) SetSwitchListener(fn func(id int, from, to Source)) {
 // restores; battery/supercap entries count pool (re)assignments.
 func (f *Fabric) SwitchCounts() [NumSources]int64 { return f.switches }
 
+// SourceCounts returns how many servers currently sit on each relay
+// position. The entries always sum to NumServers — each server's relay is
+// in exactly one position — which is the exclusivity invariant the energy
+// auditor checks every step. It allocates nothing.
+func (f *Fabric) SourceCounts() (out [NumSources]int) {
+	for _, src := range f.assign {
+		out[src]++
+	}
+	return out
+}
+
 // ResetSwitchCounts clears the relay movement counters.
 func (f *Fabric) ResetSwitchCounts() { f.switches = [NumSources]int64{} }
 

@@ -114,6 +114,25 @@ type Config struct {
 	// low-frequency time is reported as DegradedServerSeconds — the
 	// performance penalty energy buffers exist to avoid.
 	DVFSCapping bool
+
+	// Probes, when set, receives decimated per-device state samples (SoC,
+	// voltage, charge wells, Ah-throughput) for every battery string and
+	// super-capacitor bank in the pools. A nil recorder is the fast path:
+	// no snapshots are taken and the hot loop stays allocation-free
+	// (guarded by BenchmarkEngineProbesDisabled).
+	Probes *obs.ProbeRecorder
+	// ProbeEvery is the probe decimation in steps (default 60: one
+	// sample per simulated minute at the 1 s step).
+	ProbeEvery int
+
+	// Audit, when set, runs the energy-conservation auditor: a per-step
+	// bus ledger plus device bound and relay-exclusivity checks. With a
+	// strict auditor the run aborts at the first violation.
+	Audit *obs.Auditor
+
+	// Spans, when set, is the trace track this run records its span
+	// hierarchy on (run → slot plan/finish → step batches).
+	Spans *obs.Track
 }
 
 // StepInfo is the per-tick state snapshot passed to Config.Observer.
@@ -175,6 +194,9 @@ func (c Config) withDefaults() Config {
 	if c.ActivityThreshold == 0 {
 		c.ActivityThreshold = 0.05
 	}
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = 60
+	}
 	return c
 }
 
@@ -235,6 +257,29 @@ type Engine struct {
 	orderScratch    []int         // applyDecision demand-sorted ids
 	lruScratch      []int         // LRU id buffer for select/shed
 	ovSorter        overloadSorter
+
+	// Probe/audit state, built in Run only when cfg.Probes or cfg.Audit
+	// is set: the enumerated pool devices and the auditor's cumulative
+	// baselines for per-step delta measurement.
+	probeTargets []probeTarget
+	ledger       ledgerState
+}
+
+// probeTarget is one probed storage device within a run.
+type probeTarget struct {
+	name string
+	dev  esd.Prober
+}
+
+// ledgerState holds the auditor's previous-step cumulative readings; the
+// per-step bus ledger is measured as deltas of these.
+type ledgerState struct {
+	utilityDrawn units.Energy // e.utilityDrawn
+	meterUtility units.Energy // fabric meter utility credit
+	served       units.Energy // e.servedBA + e.servedSC
+	devIn        units.Energy // sum of device Stats().EnergyIn
+	devOut       units.Energy // sum of device Stats().EnergyOut
+	convLoss     units.Energy // discharge + utility converter losses
 }
 
 // overloadSorter orders server ids by descending demand (id ascending on
@@ -323,6 +368,10 @@ func MustNew(cfg Config) *Engine {
 // Fabric exposes the relay fabric (for tests and telemetry).
 func (e *Engine) Fabric() *power.Fabric { return e.fabric }
 
+// stepBatchSize is how many engine steps share one "steps" trace span —
+// one span per step would swamp the trace with sub-microsecond slivers.
+const stepBatchSize = 600
+
 // Run executes the full simulation and returns its metrics.
 func (e *Engine) Run() Result {
 	cfg := e.cfg
@@ -339,24 +388,77 @@ func (e *Engine) Run() Result {
 	e.slotPeaks = make([]float64, 0, nSlots)
 	e.slotValleys = make([]float64, 0, nSlots)
 
+	if cfg.Probes != nil || cfg.Audit != nil {
+		e.buildProbeTargets()
+	}
+	if cfg.Audit != nil {
+		e.resetLedger()
+		for _, t := range e.probeTargets {
+			s := t.dev.ProbeSnapshot()
+			cfg.Audit.StartDevice(t.name, s.EnergyInWh, s.EnergyOutWh, s.LossWh, s.StoredWh)
+		}
+	}
+
 	if cfg.Events != nil {
 		cfg.Events.Emit(obs.Event{
 			Kind: obs.EventRunStart, Server: -1,
 			Detail: cfg.Controller.Scheme().Name(),
 		})
 	}
+	span := cfg.Spans
+	span.Begin("run", "engine")
 	e.planSlot(0)
+	batch := 0
+	aborted := false
 	for i := 0; i < steps; i++ {
 		now := time.Duration(i) * cfg.Step
 		if i > 0 && i%slotSteps == 0 {
+			if batch > 0 {
+				span.End()
+				batch = 0
+			}
 			e.finishSlot()
 			e.planSlot(now)
 		}
+		if span != nil && batch == 0 {
+			span.Begin("steps", "engine")
+		}
 		e.step(now)
+		if span != nil {
+			span.Advance(obs.VirtualStepUS)
+			batch++
+			if batch == stepBatchSize {
+				span.End()
+				batch = 0
+			}
+		}
+		if cfg.Audit != nil {
+			e.auditStep(now)
+		}
+		if cfg.Probes != nil && i%cfg.ProbeEvery == 0 {
+			e.recordProbes(now)
+		}
+		if cfg.Audit != nil && cfg.Audit.Strict() && cfg.Audit.Violated() {
+			aborted = true
+			break
+		}
+	}
+	if batch > 0 {
+		span.End()
 	}
 	e.finishSlot()
+	span.End()
+	if cfg.Audit != nil {
+		for _, t := range e.probeTargets {
+			s := t.dev.ProbeSnapshot()
+			cfg.Audit.EndDevice(t.name, s.EnergyInWh, s.EnergyOutWh, s.LossWh, s.StoredWh)
+		}
+	}
 	if cfg.Events != nil {
 		end := cfg.Duration.Seconds()
+		if aborted {
+			end = e.now.Seconds()
+		}
 		if e.inMismatch {
 			e.inMismatch = false
 			cfg.Events.Emit(obs.Event{Seconds: end, Kind: obs.EventMismatchEnd, Server: -1})
@@ -366,8 +468,171 @@ func (e *Engine) Run() Result {
 	return e.result()
 }
 
+// buildProbeTargets enumerates the pools' individual storage devices.
+// Pool members get stable "<pool>/<index>" names; a bare device uses the
+// pool name alone. Devices that cannot be probed, or hold no usable
+// window at all (the Null placeholder), are skipped.
+func (e *Engine) buildProbeTargets() {
+	e.probeTargets = e.probeTargets[:0]
+	add := func(pool string, dev esd.Device) {
+		if p, ok := dev.(*esd.Pool); ok {
+			for i, m := range p.Members() {
+				if pr, ok := m.(esd.Prober); ok {
+					e.addProbeTarget(fmt.Sprintf("%s/%d", pool, i), pr)
+				}
+			}
+			return
+		}
+		if pr, ok := dev.(esd.Prober); ok {
+			e.addProbeTarget(pool, pr)
+		}
+	}
+	add("battery", e.cfg.Battery)
+	if e.cfg.Supercap != nil {
+		add("supercap", e.cfg.Supercap)
+	}
+}
+
+func (e *Engine) addProbeTarget(name string, pr esd.Prober) {
+	s := pr.ProbeSnapshot()
+	if s.CapacityAh == 0 && s.CapacityWh == 0 {
+		return
+	}
+	e.probeTargets = append(e.probeTargets, probeTarget{name: name, dev: pr})
+}
+
+// recordProbes samples every probe target into the recorder.
+func (e *Engine) recordProbes(now time.Duration) {
+	sec := now.Seconds()
+	for _, t := range e.probeTargets {
+		s := t.dev.ProbeSnapshot()
+		e.cfg.Probes.Record(t.name, sec, s.SoC, s.VoltageV, s.AvailAh, s.BoundAh, s.ThroughputAh, s.NetOutWh())
+	}
+}
+
+// resetLedger initializes the auditor's cumulative baselines.
+func (e *Engine) resetLedger() {
+	devIn, devOut := e.deviceEnergy()
+	e.ledger = ledgerState{
+		utilityDrawn: e.utilityDrawn,
+		meterUtility: e.fabric.Meter().Utility,
+		served:       e.servedBA + e.servedSC,
+		devIn:        devIn,
+		devOut:       devOut,
+		convLoss:     e.dischargeConv.Loss() + e.utilityConv.Loss(),
+	}
+}
+
+// deviceEnergy sums the pools' cumulative terminal energy ledgers.
+func (e *Engine) deviceEnergy() (in, out units.Energy) {
+	ba := e.cfg.Battery.Stats()
+	in, out = ba.EnergyIn, ba.EnergyOut
+	if e.cfg.Supercap != nil {
+		sc := e.cfg.Supercap.Stats()
+		in += sc.EnergyIn
+		out += sc.EnergyOut
+	}
+	return in, out
+}
+
+// auditStep measures the step's bus-boundary ledger from cumulative
+// deltas and runs the structural invariant checks.
+//
+// The bus boundary sits between the sources (utility feed, discharging
+// devices) and the sinks (server load as metered, charging devices,
+// modeled conversion losses):
+//
+//	in  = Δutility drawn + Δdevice discharge (terminal side)
+//	out = Δutility load credit + Δbuffer-served load + Δdevice charge
+//	      + Δconverter losses
+//
+// Every engine path balances these exactly, so the audit tolerance only
+// absorbs float summation error — any modeling bug that creates or
+// destroys energy at the bus shows up as drift.
+func (e *Engine) auditStep(now time.Duration) {
+	a := e.cfg.Audit
+	devIn, devOut := e.deviceEnergy()
+	meterUtility := e.fabric.Meter().Utility
+	served := e.servedBA + e.servedSC
+	convLoss := e.dischargeConv.Loss() + e.utilityConv.Loss()
+
+	in := (e.utilityDrawn - e.ledger.utilityDrawn) + (devOut - e.ledger.devOut)
+	out := (meterUtility - e.ledger.meterUtility) + (served - e.ledger.served) +
+		(devIn - e.ledger.devIn) + (convLoss - e.ledger.convLoss)
+	a.RecordStep(now.Seconds(), in.Wh(), out.Wh())
+
+	e.ledger = ledgerState{
+		utilityDrawn: e.utilityDrawn,
+		meterUtility: meterUtility,
+		served:       served,
+		devIn:        devIn,
+		devOut:       devOut,
+		convLoss:     convLoss,
+	}
+
+	e.auditBounds(now)
+	e.auditRelays(now)
+}
+
+// auditBounds checks every probed device against its physical envelope:
+// state of charge inside [0,1], raw charge wells non-negative and within
+// chemical capacity, open-circuit voltage inside its legal window.
+func (e *Engine) auditBounds(now time.Duration) {
+	a := e.cfg.Audit
+	sec := now.Seconds()
+	for _, t := range e.probeTargets {
+		s := t.dev.ProbeSnapshot()
+		if s.SoC < 0 || s.SoC > 1 {
+			a.Flag(obs.AuditEvent{Seconds: sec, Kind: obs.AuditSoCBound, Device: t.name,
+				Value: s.SoC, Limit: 1, Detail: "state of charge outside [0,1]"})
+		}
+		// Absolute slack for well roundoff: a few nano-amp-hours.
+		const slackAh = 1e-9
+		if s.AvailAh < -slackAh || s.BoundAh < -slackAh {
+			a.Flag(obs.AuditEvent{Seconds: sec, Kind: obs.AuditChargeBound, Device: t.name,
+				Value: math.Min(s.AvailAh, s.BoundAh), Limit: 0, Detail: "negative charge well"})
+		}
+		if s.CapacityAh > 0 && s.AvailAh+s.BoundAh > s.CapacityAh*(1+1e-9)+slackAh {
+			a.Flag(obs.AuditEvent{Seconds: sec, Kind: obs.AuditChargeBound, Device: t.name,
+				Value: s.AvailAh + s.BoundAh, Limit: s.CapacityAh, Detail: "stored charge above capacity"})
+		}
+		if s.VMaxV > s.VMinV {
+			const slackV = 1e-9
+			if s.VoltageV < s.VMinV-slackV || s.VoltageV > s.VMaxV+slackV {
+				a.Flag(obs.AuditEvent{Seconds: sec, Kind: obs.AuditVoltageBound, Device: t.name,
+					Value: s.VoltageV, Limit: s.VMaxV, Detail: "open-circuit voltage outside window"})
+			}
+		}
+	}
+}
+
+// auditRelays checks the fabric's exclusivity invariant: every server's
+// relay sits in exactly one position, so the per-source counts partition
+// the fleet and the off count matches the fabric's shed accounting.
+func (e *Engine) auditRelays(now time.Duration) {
+	a := e.cfg.Audit
+	counts := e.fabric.SourceCounts()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != e.fabric.NumServers() {
+		a.Flag(obs.AuditEvent{Seconds: now.Seconds(), Kind: obs.AuditRelayExclusivity,
+			Value: float64(total), Limit: float64(e.fabric.NumServers()),
+			Detail: "relay positions do not partition the servers"})
+	}
+	if counts[power.SourceOff] != e.fabric.NumOffline() {
+		a.Flag(obs.AuditEvent{Seconds: now.Seconds(), Kind: obs.AuditRelayExclusivity,
+			Value: float64(counts[power.SourceOff]), Limit: float64(e.fabric.NumOffline()),
+			Detail: "off-relay count disagrees with shed accounting"})
+	}
+}
+
 // planSlot queries the controller for the coming slot's decision.
 func (e *Engine) planSlot(now time.Duration) {
+	if e.cfg.Spans != nil {
+		e.cfg.Spans.Begin("plan", "control")
+	}
 	scAvail, scCap := e.supercapEnergy()
 	baAvail := e.cfg.Battery.Stored()
 	baCap := e.cfg.Battery.Capacity()
@@ -375,6 +640,10 @@ func (e *Engine) planSlot(now time.Duration) {
 	e.slotPeak, e.slotValley, e.slotHasSample = 0, 0, false
 	if e.cfg.Events != nil {
 		e.emitPlanEvents(now)
+	}
+	if e.cfg.Spans != nil {
+		e.cfg.Spans.Advance(obs.VirtualPlanUS)
+		e.cfg.Spans.End()
 	}
 }
 
@@ -403,6 +672,13 @@ func (e *Engine) emitPlanEvents(now time.Duration) {
 func (e *Engine) finishSlot() {
 	if !e.slotHasSample {
 		return
+	}
+	if e.cfg.Spans != nil {
+		e.cfg.Spans.Begin("finish", "control")
+		defer func() {
+			e.cfg.Spans.Advance(obs.VirtualFinishUS)
+			e.cfg.Spans.End()
+		}()
 	}
 	scAvail, scCap := e.supercapEnergy()
 	r := core.SlotResult{

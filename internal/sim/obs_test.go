@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"heb/internal/core"
+	"heb/internal/esd"
+	"heb/internal/obs"
+)
+
+func TestProbeDecimationAndDeviceNames(t *testing.T) {
+	r := newRig(t, 260)
+	w := flatTrace(0.5, 6, 5*time.Minute, time.Second)
+	cfg := baseConfig(r, w, controller(t, core.NewSCFirst(), 260))
+	rec := obs.NewProbeRecorder(0)
+	cfg.Probes = rec
+	cfg.ProbeEvery = 60
+	MustNew(cfg).Run()
+
+	devices := rec.Devices()
+	if len(devices) != 2 || devices[0] != "battery/0" || devices[1] != "supercap/0" {
+		t.Fatalf("probed devices %v, want [battery/0 supercap/0]", devices)
+	}
+	// 300 steps sampled every 60: i = 0, 60, 120, 180, 240.
+	for _, d := range devices {
+		samples := rec.DeviceSamples(d)
+		if len(samples) != 5 {
+			t.Fatalf("%s has %d samples, want 5", d, len(samples))
+		}
+		for i, s := range samples {
+			if want := float64(i * 60); s.Seconds != want {
+				t.Errorf("%s sample %d at t=%g, want %g", d, i, s.Seconds, want)
+			}
+			if s.SoC <= 0 || s.SoC > 1 {
+				t.Errorf("%s sample %d SoC %g out of range", d, i, s.SoC)
+			}
+			if s.VoltageV <= 0 {
+				t.Errorf("%s sample %d voltage %g", d, i, s.VoltageV)
+			}
+		}
+	}
+	if rec.Dropped() != 0 {
+		t.Errorf("ring dropped %d samples on a short run", rec.Dropped())
+	}
+}
+
+func TestProbesSkipNullBattery(t *testing.T) {
+	r := newRig(t, 260)
+	w := flatTrace(0.3, 6, 2*time.Minute, time.Second)
+	cfg := baseConfig(r, w, controller(t, core.NewBaOnly(), 260))
+	cfg.Battery = esd.Null{}
+	cfg.Supercap = nil
+	rec := obs.NewProbeRecorder(0)
+	cfg.Probes = rec
+	cfg.ProbeEvery = 30
+	MustNew(cfg).Run()
+	if n := len(rec.Devices()); n != 0 {
+		t.Errorf("Null battery produced %d probe devices", n)
+	}
+}
+
+func TestAuditPassesOnRealRun(t *testing.T) {
+	r := newRig(t, 260)
+	w := squareTrace(0.2, 1.0, 4*time.Minute, 6, 30*time.Minute, time.Second)
+	cfg := baseConfig(r, w, controller(t, core.NewSCFirst(), 260))
+	auditor := obs.NewAuditor(obs.AuditModeReport, 0)
+	cfg.Audit = auditor
+	res := MustNew(cfg).Run()
+
+	rep := auditor.Report()
+	if !rep.Passed {
+		t.Fatalf("audit failed on a healthy run: %s", rep.Summary())
+	}
+	if rep.RelDrift >= 1e-6 {
+		t.Errorf("relative ledger drift %g, want < 1e-6", rep.RelDrift)
+	}
+	if rep.Steps != int64(res.Steps) {
+		t.Errorf("audit saw %d steps, run had %d", rep.Steps, res.Steps)
+	}
+	if len(rep.Devices) != 2 {
+		t.Errorf("device residuals %d, want 2", len(rep.Devices))
+	}
+	for _, d := range rep.Devices {
+		if d.InWh == 0 && d.OutWh == 0 && d.DeltaWh == 0 {
+			t.Errorf("device %s ledger empty: %+v", d.Device, d)
+		}
+	}
+}
+
+func TestAuditPassesUnderShedAndCharge(t *testing.T) {
+	// The harsh shed/restore regime exercises the overload, takeover and
+	// shed-spill paths of the ledger.
+	r := newRig(t, 200)
+	small := esd.DefaultBatteryConfig()
+	small.CapacityAh = 0.3
+	r.battery = esd.MustNewPool("battery", esd.MustNewBattery(small))
+	tiny := esd.DefaultSupercapConfig()
+	tiny.Capacitance = 5
+	r.supercap = esd.MustNewPool("supercap", esd.MustNewSupercap(tiny))
+	w := squareTrace(0.2, 1.0, 6*time.Minute, 6, 30*time.Minute, time.Second)
+	cfg := baseConfig(r, w, controller(t, core.NewSCFirst(), 200))
+	auditor := obs.NewAuditor(obs.AuditModeReport, 0)
+	cfg.Audit = auditor
+	res := MustNew(cfg).Run()
+	if res.ShedEvents == 0 {
+		t.Fatal("regime produced no sheds; test lost its point")
+	}
+	rep := auditor.Report()
+	if !rep.Passed {
+		t.Fatalf("audit failed under shed/restore: %s", rep.Summary())
+	}
+	if rep.RelDrift >= 1e-6 {
+		t.Errorf("relative drift %g under shed/restore", rep.RelDrift)
+	}
+}
+
+func TestAuditStrictAbortsRun(t *testing.T) {
+	r := newRig(t, 260)
+	w := flatTrace(0.5, 6, 10*time.Minute, time.Second)
+	cfg := baseConfig(r, w, controller(t, core.NewSCFirst(), 260))
+	auditor := obs.NewAuditor(obs.AuditModeStrict, 0)
+	// Pre-flag a violation: the engine must stop at the first step's
+	// audit check instead of running out the clock.
+	auditor.Flag(obs.AuditEvent{Kind: obs.AuditLedgerDrift, Detail: "injected"})
+	cfg.Audit = auditor
+	res := MustNew(cfg).Run()
+	if res.Steps >= 600 {
+		t.Fatalf("strict audit did not abort: ran %d steps", res.Steps)
+	}
+	if !auditor.Violated() {
+		t.Fatal("violation lost")
+	}
+}
+
+// TestObserverSeesShedAndRestoreWindows drives the capping/shed path
+// through the observer: during overload steps servers go Off with the
+// mismatch flag set, and the low phase restores them.
+func TestObserverSeesShedAndRestoreWindows(t *testing.T) {
+	r := newRig(t, 200)
+	small := esd.DefaultBatteryConfig()
+	small.CapacityAh = 0.3
+	r.battery = esd.MustNewPool("battery", esd.MustNewBattery(small))
+	tiny := esd.DefaultSupercapConfig()
+	tiny.Capacitance = 5
+	r.supercap = esd.MustNewPool("supercap", esd.MustNewSupercap(tiny))
+	w := squareTrace(0.2, 1.0, 6*time.Minute, 6, 30*time.Minute, time.Second)
+	cfg := baseConfig(r, w, controller(t, core.NewSCFirst(), 200))
+	var snaps []StepInfo
+	cfg.Observer = func(s StepInfo) { snaps = append(snaps, s) }
+	res := MustNew(cfg).Run()
+	if res.ShedEvents == 0 || len(snaps) != res.Steps {
+		t.Fatalf("sheds %d, snaps %d/%d", res.ShedEvents, len(snaps), res.Steps)
+	}
+
+	firstShed, restoredAfter := -1, false
+	for i, s := range snaps {
+		if total := s.OnUtility + s.OnBattery + s.OnSupercap + s.Off; total != 6 {
+			t.Fatalf("snap %d relay counts sum to %d: %+v", i, total, s)
+		}
+		if s.Off > 0 && firstShed < 0 {
+			firstShed = i
+			if !s.Mismatch {
+				t.Errorf("shed window at step %d without mismatch flag", i)
+			}
+		}
+		if firstShed >= 0 && i > firstShed && s.Off == 0 {
+			restoredAfter = true
+		}
+	}
+	if firstShed < 0 {
+		t.Fatal("observer never saw a shed window")
+	}
+	if !restoredAfter {
+		t.Fatal("observer never saw servers restored after a shed")
+	}
+	// Off counts must reconcile with the result's downtime accounting.
+	var offSteps float64
+	for _, s := range snaps {
+		offSteps += float64(s.Off)
+	}
+	if offSteps != res.DowntimeServerSeconds {
+		t.Errorf("observer off-steps %g != downtime %g", offSteps, res.DowntimeServerSeconds)
+	}
+}
+
+// TestObserverSeesDVFSCappingWindow checks the capping path through the
+// observer: with the governor on, observed peak demand drops below the
+// uncapped peak while relay accounting stays consistent.
+func TestObserverSeesDVFSCappingWindow(t *testing.T) {
+	peakDemand := func(capping bool) float64 {
+		r := newRig(t, 260)
+		w := squareTrace(0.2, 1.0, 10*time.Minute, 6, 30*time.Minute, time.Second)
+		cfg := baseConfig(r, w, controller(t, core.NewBaOnly(), 260))
+		cfg.Battery = esd.Null{}
+		cfg.Supercap = nil
+		cfg.DVFSCapping = capping
+		peak := 0.0
+		cfg.Observer = func(s StepInfo) {
+			if total := s.OnUtility + s.OnBattery + s.OnSupercap + s.Off; total != 6 {
+				t.Fatalf("relay counts sum to %d: %+v", total, s)
+			}
+			if float64(s.Demand) > peak {
+				peak = float64(s.Demand)
+			}
+		}
+		res := MustNew(cfg).Run()
+		if capping && res.DegradedServerSeconds <= 0 {
+			t.Fatal("capping recorded no degraded time")
+		}
+		return peak
+	}
+	capped, uncapped := peakDemand(true), peakDemand(false)
+	if capped >= uncapped {
+		t.Errorf("capped peak %g W not below uncapped %g W", capped, uncapped)
+	}
+}
+
+func TestEngineSpanStructure(t *testing.T) {
+	r := newRig(t, 260)
+	w := flatTrace(0.5, 6, 5*time.Minute, time.Second)
+	cfg := baseConfig(r, w, controller(t, core.NewSCFirst(), 260))
+	tracer := obs.NewTracer()
+	cfg.Spans = tracer.NewTrack("test", "run1")
+	MustNew(cfg).Run()
+
+	events := tracer.Events()
+	if err := obs.ValidateTrace(events); err != nil {
+		t.Fatalf("engine trace invalid: %v", err)
+	}
+	counts := map[string]int{}
+	for _, e := range events {
+		if e.Phase == "X" {
+			counts[e.Name]++
+		}
+	}
+	// 300 steps, 120-step slots: plans at 0/120/240, three slot closes,
+	// step batches broken at each slot boundary.
+	if counts["run"] != 1 || counts["plan"] != 3 || counts["finish"] != 3 || counts["steps"] != 3 {
+		t.Fatalf("span counts %v, want run=1 plan=3 finish=3 steps=3", counts)
+	}
+	stats := obs.Rollup(events)
+	byName := map[string]obs.PhaseStat{}
+	for _, s := range stats {
+		byName[s.Name] = s
+	}
+	if got := byName["steps"].TotalUS; got != 300*obs.VirtualStepUS {
+		t.Errorf("steps total %d us, want %d", got, 300*obs.VirtualStepUS)
+	}
+	if got := byName["plan"].TotalUS; got != 3*obs.VirtualPlanUS {
+		t.Errorf("plan total %d us, want %d", got, 3*obs.VirtualPlanUS)
+	}
+	if got := byName["run"].SelfUS; got != 0 {
+		t.Errorf("run self time %d us, want 0 (fully covered by phases)", got)
+	}
+}

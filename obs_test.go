@@ -12,11 +12,15 @@ import (
 )
 
 // captureBytes runs the multi-seed sweep with the given worker count
-// under a fresh capture and returns the three artifact files' contents.
+// under a fresh capture — probes, audits and span tracing on — and
+// returns every artifact file's contents plus the exported trace.
 func captureBytes(t *testing.T, workers int) map[string][]byte {
 	t.Helper()
 	p := DefaultPrototype()
 	p.Capture = obs.NewCapture()
+	p.ProbeEvery = 60
+	p.Audit = obs.AuditModeReport
+	p.Tracer = obs.NewTracer()
 	_, err := MultiSeedComparison(p, MultiSeedOptions{
 		Seeds:    2,
 		Duration: 40 * time.Minute,
@@ -32,7 +36,7 @@ func captureBytes(t *testing.T, workers int) map[string][]byte {
 		t.Fatal(err)
 	}
 	out := map[string][]byte{}
-	for _, name := range []string{"events.jsonl", "decisions.jsonl", "metrics.prom"} {
+	for _, name := range []string{"events.jsonl", "decisions.jsonl", "metrics.prom", "probes.jsonl", "audits.jsonl"} {
 		b, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
 			t.Fatal(err)
@@ -42,11 +46,17 @@ func captureBytes(t *testing.T, workers int) map[string][]byte {
 		}
 		out[name] = b
 	}
+	var trace bytes.Buffer
+	if err := p.Tracer.WriteChromeTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	out["trace.json"] = trace.Bytes()
 	return out
 }
 
 // TestCaptureDeterministicAcrossWorkers is the headline determinism
-// guarantee: the artifact files a sweep writes are byte-identical
+// guarantee: the artifact files a sweep writes — including probes.jsonl,
+// audits.jsonl and the virtual-clock trace.json — are byte-identical
 // whether the cells ran on one worker or many.
 func TestCaptureDeterministicAcrossWorkers(t *testing.T) {
 	seq := captureBytes(t, 1)
@@ -55,6 +65,115 @@ func TestCaptureDeterministicAcrossWorkers(t *testing.T) {
 		if !bytes.Equal(par[name], want) {
 			t.Errorf("%s differs between workers=1 and workers=4", name)
 		}
+	}
+}
+
+// TestAllSchemesPassEnergyAudit holds every Table 2 scheme to the
+// energy-conservation ledger: a run may not create or destroy energy at
+// the bus boundary beyond float summation noise.
+func TestAllSchemesPassEnergyAudit(t *testing.T) {
+	p := DefaultPrototype()
+	p.Audit = obs.AuditModeReport
+	p.Audits = obs.NewAuditLog()
+	pr, err := WorkloadNamed("PR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := 40 * time.Minute
+	for _, id := range AllSchemes() {
+		if _, err := p.Run(id, pr.WithDuration(d), RunOptions{Duration: d}); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	reports := p.Audits.Reports()
+	if len(reports) != len(AllSchemes()) {
+		t.Fatalf("collected %d reports, want %d", len(reports), len(AllSchemes()))
+	}
+	for _, r := range reports {
+		if !r.Passed {
+			t.Errorf("%s", r.Summary())
+		}
+		if r.RelDrift >= 1e-6 {
+			t.Errorf("%s: relative drift %g, want < 1e-6", r.Run, r.RelDrift)
+		}
+		if r.Steps == 0 {
+			t.Errorf("%s: audit saw no steps", r.Run)
+		}
+	}
+}
+
+// TestStrictAuditCleanOnHealthyRun checks the fail-fast path stays quiet
+// when physics hold: strict mode neither errors nor truncates the run.
+func TestStrictAuditCleanOnHealthyRun(t *testing.T) {
+	p := DefaultPrototype()
+	p.Audit = obs.AuditModeStrict
+	pr, err := WorkloadNamed("PR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := 30 * time.Minute
+	res, err := p.Run(HEBD, pr.WithDuration(d), RunOptions{Duration: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != int(d/p.Step) {
+		t.Errorf("strict run truncated: %d steps", res.Steps)
+	}
+}
+
+// TestRunTraceAndProbesArtifacts pins the per-run deep-observability
+// contract: probe samples stamped with the run key land in the capture,
+// the audit report is attached, and the tracer's output passes the
+// trace-event validator with the engine's phases present.
+func TestRunTraceAndProbesArtifacts(t *testing.T) {
+	p := DefaultPrototype()
+	p.Capture = obs.NewCapture()
+	p.ProbeEvery = 120
+	p.Audit = obs.AuditModeReport
+	p.Tracer = obs.NewTracer()
+	p.TraceCell = "unit"
+	pr, err := WorkloadNamed("PR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := 30 * time.Minute
+	res, err := p.Run(HEBD, pr.WithDuration(d), RunOptions{Duration: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := p.Capture.Runs()
+	if len(runs) != 1 {
+		t.Fatalf("capture holds %d runs", len(runs))
+	}
+	a := runs[0]
+	// 2 battery strings + 2 SC banks, sampled every 120 of 1800 steps.
+	wantSamples := 4 * ((res.Steps + p.ProbeEvery - 1) / p.ProbeEvery)
+	if len(a.Probes) != wantSamples {
+		t.Errorf("captured %d probe samples, want %d", len(a.Probes), wantSamples)
+	}
+	for _, s := range a.Probes {
+		if s.Run != a.Key {
+			t.Fatalf("probe sample not stamped with run key: %q", s.Run)
+		}
+	}
+	if a.Audit == nil || !a.Audit.Passed || a.Audit.Run != a.Key {
+		t.Errorf("audit report missing or unlabeled: %+v", a.Audit)
+	}
+
+	events := p.Tracer.Events()
+	if err := obs.ValidateTrace(events); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	var sawRun, sawSteps bool
+	for _, e := range events {
+		if e.Phase == "M" && e.Name == "process_name" && e.Args["name"] != "unit" {
+			t.Errorf("trace group %v, want unit", e.Args["name"])
+		}
+		sawRun = sawRun || (e.Phase == "X" && e.Name == "run")
+		sawSteps = sawSteps || (e.Phase == "X" && e.Name == "steps")
+	}
+	if !sawRun || !sawSteps {
+		t.Errorf("trace missing engine phases (run=%v steps=%v)", sawRun, sawSteps)
 	}
 }
 

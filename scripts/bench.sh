@@ -10,7 +10,8 @@
 # The obs set runs the same HEB-D hour with the observability layer off
 # (nil sinks) and on (event log + decision trace): Disabled's allocs/op
 # must equal BenchmarkEngineStep's, proving the nil-sink guards keep the
-# engine hot loop allocation-free.
+# engine hot loop allocation-free. The Probes pair does the same for the
+# deep layer (per-device probes + energy auditor + span tracer).
 #
 # Usage: scripts/bench.sh [sweep.json [obs.json]]
 set -euo pipefail
@@ -48,7 +49,7 @@ go test -run '^$' -bench 'BenchmarkMultiSeedSequential|BenchmarkMultiSeedParalle
 to_json <"$raw" >"$sweep_out"
 echo "wrote $sweep_out"
 
-go test -run '^$' -bench 'BenchmarkEngineObsDisabled|BenchmarkEngineObsEnabled' \
+go test -run '^$' -bench 'BenchmarkEngineObsDisabled|BenchmarkEngineObsEnabled|BenchmarkEngineProbesDisabled|BenchmarkEngineProbesEnabled' \
 	-benchmem -count=1 . | tee "$raw"
 to_json <"$raw" >"$obs_out"
 echo "wrote $obs_out"

@@ -1,12 +1,19 @@
 #!/usr/bin/env bash
 # obs_smoke.sh — end-to-end smoke test of the observability pipeline.
 #
-# Runs hebsim with -obs on a 10-minute PR workload and asserts the three
-# artifacts exist, are non-empty, and parse: cmd/obscheck feeds the two
-# JSONL files back through the obs package's own readers (so the
-# round-trip the EXPERIMENTS.md diff recipe depends on is exercised for
-# real) and requires the Prometheus exposition to carry the engine
-# counters.
+# Phase 1 runs hebsim with -obs on a 10-minute PR workload and asserts
+# the three baseline artifacts exist, are non-empty, and parse:
+# cmd/obscheck feeds the JSONL files back through the obs package's own
+# readers (so the round-trip the EXPERIMENTS.md diff recipe depends on
+# is exercised for real) and requires the Prometheus exposition to carry
+# the engine counters.
+#
+# Phase 2 turns the deep-observability layer on — per-device probes,
+# the energy-conservation auditor in strict mode, and the span profiler
+# — and asserts: probes.jsonl/audits.jsonl land next to the baseline
+# artifacts, trace.json passes obscheck's trace validator, hebtrace can
+# roll the trace up into per-phase self times, and the run report
+# carries the battery wear line and a clean strict-audit summary.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,5 +29,28 @@ for f in events.jsonl decisions.jsonl metrics.prom; do
 done
 
 go run ./cmd/obscheck "$dir/out"
+
+echo "== obs smoke: probes + strict audit + trace =="
+go run ./cmd/hebsim -exp run -scheme HEB-D -workload PR -duration 10m \
+	-obs "$dir/deep" -probes 60 -audit strict -trace "$dir/deep/trace.json" \
+	>"$dir/deep_stdout.txt" 2>"$dir/deep_stderr.txt"
+
+for f in events.jsonl decisions.jsonl metrics.prom probes.jsonl audits.jsonl trace.json; do
+	[[ -s "$dir/deep/$f" ]] || { echo "obs smoke: deep $f missing or empty" >&2; exit 1; }
+done
+
+grep -q "battery wear:" "$dir/deep_stdout.txt" ||
+	{ echo "obs smoke: run report lacks battery wear line" >&2; exit 1; }
+grep -q "audited .*, 0 failed" "$dir/deep_stderr.txt" ||
+	{ echo "obs smoke: strict audit did not report a clean pass" >&2; exit 1; }
+
+# obscheck validates the deep artifacts too: probe/audit JSONL round-trip
+# through the obs readers, every audit report passed, trace nesting valid,
+# and the dropped-events counter at zero (no -allow-drops needed).
+go run ./cmd/obscheck "$dir/deep"
+
+go run ./cmd/hebtrace "$dir/deep/trace.json" >"$dir/rollup.txt"
+grep -q "steps" "$dir/rollup.txt" ||
+	{ echo "obs smoke: hebtrace rollup lacks the steps phase" >&2; exit 1; }
 
 echo "obs smoke: OK"

@@ -7,7 +7,11 @@
 # real cross-goroutine traffic) for a fast failure, then the full suite
 # exercises the parallel sweep runner under contention.
 # Tier 3: the end-to-end observability smoke test (hebsim -obs artifacts
-# parse back through the obs readers).
+# parse back through the obs readers, plus the probes/audit/trace deep
+# pipeline through obscheck and hebtrace).
+# Tier 4: docs drift — regenerate the committed hebsim -exp all output
+# (timing columns normalized) and fail if it no longer matches
+# docs/hebsim_all_output.txt.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,5 +26,8 @@ go test -race ./...
 
 echo "== tier 3: observability smoke =="
 scripts/obs_smoke.sh
+
+echo "== tier 4: docs drift =="
+scripts/update_docs.sh -check
 
 echo "verify: OK"
