@@ -462,6 +462,44 @@ func BenchmarkEngineProbesDisabled(b *testing.B) { benchEngineDeep(b, false) }
 
 func BenchmarkEngineProbesEnabled(b *testing.B) { benchEngineDeep(b, true) }
 
+// benchEngineCheckpoint runs the HEB-D hour with the flight recorder
+// either off (the default) or snapshotting every slot into a discarding
+// sink. Disabled must match BenchmarkEngineStep's allocs/op exactly:
+// checkpointing is guarded out of the hot loop entirely when off, and
+// even when on it runs only at slot boundaries.
+func benchEngineCheckpoint(b *testing.B, enabled bool) {
+	b.Helper()
+	p := DefaultPrototype()
+	pr, err := WorkloadNamed("PR")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := pr.WithDuration(time.Hour).Trace(p); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	steps := 0
+	for i := 0; i < b.N; i++ {
+		q := p
+		opts := RunOptions{Duration: time.Hour}
+		if enabled {
+			q.CheckpointEvery = 1
+			opts.CheckpointSink = func(obs.CheckpointRecord) {}
+		}
+		res, err := q.Run(HEBD, pr.WithDuration(time.Hour), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += res.Steps
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "simSteps/s")
+}
+
+func BenchmarkEngineCheckpointDisabled(b *testing.B) { benchEngineCheckpoint(b, false) }
+
+func BenchmarkEngineCheckpointEnabled(b *testing.B) { benchEngineCheckpoint(b, true) }
+
 // benchMultiSeed measures the multi-seed sweep at a fixed worker count.
 // The seed × scheme grid is the repo's heaviest embarrassingly-parallel
 // sweep, so the Sequential/Parallel pair below is the headline

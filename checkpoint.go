@@ -1,0 +1,29 @@
+package heb
+
+import (
+	"encoding/json"
+
+	"heb/internal/obs"
+)
+
+// runCheckpointState is the full per-run flight-recorder payload: the
+// engine's EngineState plus the run's observability prefixes (event log,
+// decision trace, probe rings). The obs layer must ride along because a
+// killed run never reaches Capture.WriteFiles — on resume the prefixes
+// are reconstructed from the checkpoint so the final artifacts come out
+// byte-identical to an uninterrupted run's.
+type runCheckpointState struct {
+	// Engine is the serialized sim.EngineState.
+	Engine json.RawMessage `json:"engine"`
+	// Obs carries the run's observability state; nil when the run has no
+	// capture or probes attached.
+	Obs *runObsState `json:"obs,omitempty"`
+}
+
+// runObsState is the observability half of a run checkpoint.
+type runObsState struct {
+	Events        []obs.Event             `json:"events,omitempty"`
+	EventsDropped int                     `json:"events_dropped,omitempty"`
+	Decisions     []obs.DecisionRecord    `json:"decisions,omitempty"`
+	Probes        *obs.ProbeRecorderState `json:"probes,omitempty"`
+}

@@ -1,0 +1,288 @@
+// Command hebbisect locates the first behavioral divergence between two
+// recorded runs. Both runs must have been recorded with
+// `hebsim -obs dir/ -checkpoint-every N` so each directory holds a
+// hash-chained checkpoints.jsonl; decisions.jsonl and events.jsonl are
+// used, when present, to explain the divergence at full resolution.
+//
+// Because the simulator is deterministic, two runs that agree at a
+// checkpoint agree at every earlier one, so divergence is monotone in
+// the slot index and the first diverging checkpoint is found by binary
+// search — only O(log n) state pairs are ever decoded and diffed.
+//
+// The report names the first diverging checkpoint, the field-level state
+// diff at that slot, and the bracketing decision records and discrete
+// events from both runs. Config-echo fields that trivially differ when
+// the two runs were configured differently (utility budget, cluster
+// size) are excluded by default; pass -ignore "" to diff strictly.
+//
+// Usage:
+//
+//	hebbisect [flags] dirA dirB
+//
+//	-run-a / -run-b   run key to select within a multi-run chain file
+//	                  (default: the run of the file's last record)
+//	-tol              float comparison tolerance (default 0: exact)
+//	-ignore           comma-separated field names excluded from the diff
+//	-max-diffs        cap on reported field diffs per slot
+//
+// Exit status: 0 when the common slot range is equivalent, 1 when a
+// divergence was found, 2 on usage or read errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"heb/internal/obs"
+)
+
+func main() {
+	runA := flag.String("run-a", "", "run key to select from dirA's chain (default: last record's run)")
+	runB := flag.String("run-b", "", "run key to select from dirB's chain (default: last record's run)")
+	tol := flag.Float64("tol", 0, "absolute+relative float tolerance (0 = exact)")
+	ignore := flag.String("ignore", "budget_w,Budget,NumServers", "comma-separated field names excluded from the state diff")
+	maxDiffs := flag.Int("max-diffs", 16, "cap on reported field diffs")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: hebbisect [flags] dirA dirB")
+		os.Exit(2)
+	}
+	diverged, err := bisect(os.Stdout, flag.Arg(0), flag.Arg(1), *runA, *runB, *tol, ignoreSet(*ignore), *maxDiffs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hebbisect:", err)
+		os.Exit(2)
+	}
+	if diverged {
+		os.Exit(1)
+	}
+}
+
+func ignoreSet(s string) map[string]bool {
+	out := make(map[string]bool)
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out[f] = true
+		}
+	}
+	return out
+}
+
+// side is one run's recorded artifacts: its checkpoint group plus the
+// optional decision/event traces filtered to the same run.
+type side struct {
+	dir    string
+	run    string
+	bySlot map[int]obs.CheckpointRecord
+	slots  []int
+	// decisions and events are nil when the directory has no such file.
+	decisions []obs.DecisionRecord
+	events    []obs.Event
+}
+
+// loadSide reads and validates one directory's chain and picks the
+// requested run group.
+func loadSide(dir, runKey string) (*side, error) {
+	f, err := os.Open(filepath.Join(dir, "checkpoints.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	records, rerr := obs.ReadCheckpoints(f)
+	f.Close()
+	if rerr != nil {
+		return nil, fmt.Errorf("%s: %w", dir, rerr)
+	}
+	if err := obs.ValidateCheckpoints(records); err != nil {
+		return nil, fmt.Errorf("%s: %w", dir, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("%s: no checkpoints", dir)
+	}
+	if runKey == "" {
+		runKey = records[len(records)-1].Run
+	}
+	s := &side{dir: dir, run: runKey, bySlot: make(map[int]obs.CheckpointRecord)}
+	for _, r := range records {
+		if r.Run != runKey {
+			continue
+		}
+		s.bySlot[r.Slot] = r
+		s.slots = append(s.slots, r.Slot)
+	}
+	if len(s.slots) == 0 {
+		return nil, fmt.Errorf("%s: no checkpoints for run %q", dir, runKey)
+	}
+	sort.Ints(s.slots)
+
+	if df, err := os.Open(filepath.Join(dir, "decisions.jsonl")); err == nil {
+		recs, rerr := obs.ReadDecisions(df)
+		df.Close()
+		if rerr != nil {
+			return nil, fmt.Errorf("%s: %w", dir, rerr)
+		}
+		for _, r := range recs {
+			if r.Run == runKey {
+				s.decisions = append(s.decisions, r)
+			}
+		}
+	}
+	if ef, err := os.Open(filepath.Join(dir, "events.jsonl")); err == nil {
+		evs, rerr := obs.ReadEvents(ef)
+		ef.Close()
+		if rerr != nil {
+			return nil, fmt.Errorf("%s: %w", dir, rerr)
+		}
+		for _, e := range evs {
+			if e.Run == runKey {
+				s.events = append(s.events, e)
+			}
+		}
+	}
+	return s, nil
+}
+
+// slotSeconds recovers the control-slot length from the chain (every
+// record's Seconds is Slot * slot length).
+func (s *side) slotSeconds() float64 {
+	for _, slot := range s.slots {
+		if slot > 0 {
+			return s.bySlot[slot].Seconds / float64(slot)
+		}
+	}
+	return 0
+}
+
+// decision returns the side's record for a 1-based control slot.
+func (s *side) decision(slot int) (obs.DecisionRecord, bool) {
+	for _, r := range s.decisions {
+		if r.Slot == slot {
+			return r, true
+		}
+	}
+	return obs.DecisionRecord{}, false
+}
+
+// bisect finds and reports the first diverging checkpoint. It returns
+// whether a divergence exists in the common slot range.
+func bisect(w *os.File, dirA, dirB, runA, runB string, tol float64, ignore map[string]bool, maxDiffs int) (bool, error) {
+	a, err := loadSide(dirA, runA)
+	if err != nil {
+		return false, err
+	}
+	b, err := loadSide(dirB, runB)
+	if err != nil {
+		return false, err
+	}
+	var common []int
+	for _, slot := range a.slots {
+		if _, ok := b.bySlot[slot]; ok {
+			common = append(common, slot)
+		}
+	}
+	if len(common) == 0 {
+		return false, fmt.Errorf("no common checkpoint slots (A has %d-%d, B has %d-%d)",
+			a.slots[0], a.slots[len(a.slots)-1], b.slots[0], b.slots[len(b.slots)-1])
+	}
+	fmt.Fprintf(w, "A: %s run %q, checkpoints at slots %d-%d\n", a.dir, a.run, a.slots[0], a.slots[len(a.slots)-1])
+	fmt.Fprintf(w, "B: %s run %q, checkpoints at slots %d-%d\n", b.dir, b.run, b.slots[0], b.slots[len(b.slots)-1])
+
+	diffAt := func(i int) []fieldDiff {
+		slot := common[i]
+		return diffStates(a.bySlot[slot].State, b.bySlot[slot].State, tol, ignore)
+	}
+	// The simulator is deterministic: states equal at slot s stay equal at
+	// every later checkpoint, so "diverged" is monotone over the common
+	// slots and sort.Search lands exactly on the first divergence.
+	first := sort.Search(len(common), func(i int) bool { return len(diffAt(i)) > 0 })
+	if first == len(common) {
+		fmt.Fprintf(w, "no divergence across %d common checkpoints (slots %d-%d)\n",
+			len(common), common[0], common[len(common)-1])
+		return false, nil
+	}
+
+	slot := common[first]
+	diffs := diffAt(first)
+	fmt.Fprintf(w, "\nfirst divergence at checkpoint slot %d (t=%gs, step %d)\n",
+		slot, a.bySlot[slot].Seconds, a.bySlot[slot].Step)
+	if first == 0 {
+		fmt.Fprintf(w, "runs differ at the earliest common checkpoint; divergence is at or before control slot %d\n", slot)
+	} else {
+		fmt.Fprintf(w, "last agreeing checkpoint: slot %d; behavior diverged during control slot %d or in the plan for slot %d\n",
+			common[first-1], slot, slot+1)
+	}
+	fmt.Fprintf(w, "\nstate diff (%d fields differ):\n", len(diffs))
+	for i, d := range diffs {
+		if i == maxDiffs {
+			fmt.Fprintf(w, "  ... %d more\n", len(diffs)-maxDiffs)
+			break
+		}
+		fmt.Fprintf(w, "  %-50s A=%v B=%v\n", d.Path, d.A, d.B)
+	}
+
+	reportDecisions(w, a, b, slot)
+	reportEvents(w, a, b, slot)
+	return true, nil
+}
+
+// reportDecisions prints both runs' decision records bracketing the
+// divergence: the slot the behavior diverged in and the next plan.
+func reportDecisions(w *os.File, a, b *side, slot int) {
+	if a.decisions == nil && b.decisions == nil {
+		return
+	}
+	fmt.Fprintf(w, "\nbracketing decisions (control slots %d-%d):\n", slot, slot+1)
+	for s := slot; s <= slot+1; s++ {
+		for _, sd := range []struct {
+			name string
+			side *side
+		}{{"A", a}, {"B", b}} {
+			r, ok := sd.side.decision(s)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "  %s slot %d: mode=%s ratio=%.3f small_peak=%v predPeak=%.1fW actPeak=%.1fW scFracEnd=%.3f\n",
+				sd.name, s, r.Mode, r.Ratio, r.SmallPeak, r.PredictedPeakW, r.ActualPeakW, r.SCFracEnd)
+		}
+	}
+}
+
+// reportEvents prints both runs' discrete events inside the diverging
+// control slot (checkpoint slot s covers simulation time
+// [(s-1)*slot, s*slot)).
+func reportEvents(w *os.File, a, b *side, slot int) {
+	if a.events == nil && b.events == nil {
+		return
+	}
+	slotSecs := a.slotSeconds()
+	if slotSecs <= 0 {
+		return
+	}
+	lo, hi := float64(slot-1)*slotSecs, float64(slot)*slotSecs
+	fmt.Fprintf(w, "\nbracketing events (t=%g-%gs):\n", lo, hi)
+	for _, sd := range []struct {
+		name string
+		side *side
+	}{{"A", a}, {"B", b}} {
+		n := 0
+		for _, e := range sd.side.events {
+			if e.Seconds < lo || e.Seconds >= hi {
+				continue
+			}
+			n++
+			line := fmt.Sprintf("  %s t=%-8g %-18s server=%d", sd.name, e.Seconds, e.Kind, e.Server)
+			if e.From != "" || e.To != "" {
+				line += fmt.Sprintf(" %s->%s", e.From, e.To)
+			}
+			if e.Watts != 0 {
+				line += fmt.Sprintf(" %.1fW", e.Watts)
+			}
+			fmt.Fprintln(w, line)
+		}
+		if n == 0 {
+			fmt.Fprintf(w, "  %s (no events in window)\n", sd.name)
+		}
+	}
+}

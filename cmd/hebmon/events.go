@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"heb/internal/obs"
+)
+
+// subscriberBuffer is the per-subscriber channel depth; a client that
+// falls further behind than this loses events (counted by the stream's
+// drop counter, reported on the stream itself).
+const subscriberBuffer = 256
+
+// eventsHandler serves GET /events as a Server-Sent Events stream: the
+// stream's bounded backlog first (so a late subscriber sees recent
+// history), then every new discrete event as it happens. Each event goes
+// out as `event: <kind>` with the full record as JSON data. Whenever the
+// stream's cumulative drop counter advances, a `event: dropped` message
+// reports the new total so lossy delivery is visible, never silent.
+func eventsHandler(stream *obs.EventStream) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+
+		id, ch, backlog := stream.Subscribe(subscriberBuffer)
+		defer stream.Unsubscribe(id)
+
+		lastDropped := int64(0)
+		for _, e := range backlog {
+			if err := writeSSE(w, e); err != nil {
+				return
+			}
+		}
+		lastDropped = reportDrops(w, stream, lastDropped)
+		fl.Flush()
+
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case e, open := <-ch:
+				if !open {
+					return
+				}
+				if err := writeSSE(w, e); err != nil {
+					return
+				}
+				lastDropped = reportDrops(w, stream, lastDropped)
+				fl.Flush()
+			}
+		}
+	})
+}
+
+// writeSSE frames one event for the SSE wire.
+func writeSSE(w http.ResponseWriter, e obs.Event) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Kind, data)
+	return err
+}
+
+// reportDrops emits a dropped-counter message when the total advanced.
+func reportDrops(w http.ResponseWriter, stream *obs.EventStream, last int64) int64 {
+	d := stream.Dropped()
+	if d > last {
+		fmt.Fprintf(w, "event: dropped\ndata: {\"dropped\":%d}\n\n", d)
+	}
+	return d
+}

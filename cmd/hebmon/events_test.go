@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"heb/internal/obs"
+)
+
+// TestEventsHandlerStreamsBacklogAndLive checks the SSE framing: a
+// subscriber first receives the backlog, then events emitted after it
+// connected.
+func TestEventsHandlerStreamsBacklogAndLive(t *testing.T) {
+	stream := obs.NewEventStream(8)
+	stream.Emit(obs.Event{Seconds: 1, Kind: obs.EventRunStart, Server: -1})
+
+	srv := httptest.NewServer(eventsHandler(stream))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+
+	r := bufio.NewReader(resp.Body)
+	readEvent := func() (kind, data string) {
+		t.Helper()
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				t.Fatalf("read SSE: %v", err)
+			}
+			line = strings.TrimRight(line, "\n")
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				kind = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				data = strings.TrimPrefix(line, "data: ")
+			case line == "" && kind != "":
+				return kind, data
+			}
+		}
+	}
+
+	kind, data := readEvent()
+	if kind != "run_start" || !strings.Contains(data, `"kind":"run_start"`) {
+		t.Fatalf("backlog event = %q %q", kind, data)
+	}
+
+	// Emit until the live event arrives (the subscriber registers
+	// asynchronously with the handler goroutine).
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-time.After(10 * time.Millisecond):
+				stream.Emit(obs.Event{Seconds: 2, Kind: obs.EventHandoff, Server: 0})
+			}
+		}
+	}()
+	kind, data = readEvent()
+	if kind != "handoff" || !strings.Contains(data, `"kind":"handoff"`) {
+		t.Fatalf("live event = %q %q", kind, data)
+	}
+}
+
+func TestEventsHandlerRejectsPost(t *testing.T) {
+	srv := httptest.NewServer(eventsHandler(obs.NewEventStream(8)))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d, want 405", resp.StatusCode)
+	}
+}

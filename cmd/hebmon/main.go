@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"heb"
+	"heb/internal/obs"
 	"heb/internal/sim"
 	"heb/internal/telemetry"
 )
@@ -65,9 +66,10 @@ func run(addr, scheme, wl string, duration time.Duration, speedup float64, histo
 
 	rec := telemetry.MustNewRecorder(history)
 	metrics := telemetry.NewMetrics(nil)
+	stream := obs.NewEventStream(0)
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           newMux(rec, metrics),
+		Handler:           newMux(rec, metrics, stream),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -76,7 +78,7 @@ func run(addr, scheme, wl string, duration time.Duration, speedup float64, histo
 
 	serveErr := make(chan error, 1)
 	go func() {
-		log.Printf("monitor listening on %s (endpoints: /healthz /latest /history /summary /curves /metrics /debug/pprof/)", addr)
+		log.Printf("monitor listening on %s (endpoints: /healthz /latest /history /summary /curves /events /metrics /debug/pprof/)", addr)
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			serveErr <- err
 		}
@@ -103,6 +105,7 @@ func run(addr, scheme, wl string, duration time.Duration, speedup float64, histo
 		res, err := p.Run(id, w.WithDuration(duration), heb.RunOptions{
 			Duration: duration,
 			Observer: observer,
+			Events:   stream,
 		})
 		if err == nil {
 			log.Printf("run complete: %s", res)
@@ -138,12 +141,13 @@ func run(addr, scheme, wl string, duration time.Duration, speedup float64, histo
 	return runErr
 }
 
-// newMux composes the monitor API, the Prometheus exposition and the
-// standard pprof profiling endpoints on one private mux (nothing is
-// registered on http.DefaultServeMux).
-func newMux(rec *telemetry.Recorder, metrics *telemetry.Metrics) *http.ServeMux {
+// newMux composes the monitor API, the live event stream, the Prometheus
+// exposition and the standard pprof profiling endpoints on one private
+// mux (nothing is registered on http.DefaultServeMux).
+func newMux(rec *telemetry.Recorder, metrics *telemetry.Metrics, stream *obs.EventStream) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/", rec.Handler())
+	mux.Handle("/events", eventsHandler(stream))
 	mux.Handle("/metrics", metrics.Registry().Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

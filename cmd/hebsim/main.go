@@ -48,6 +48,9 @@ func main() {
 		audit    = flag.String("audit", "off", "energy-conservation audit: off, report, or strict (strict aborts a run at its first violation)")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event span profile to this file (open in Perfetto; summarize with hebtrace)")
 		traceClk = flag.String("trace-clock", "virtual", "trace timestamps: virtual (deterministic) or wall (real elapsed time)")
+		ckptEvry = flag.Int("checkpoint-every", 0, "flight recorder: checkpoint the full run state every N control slots into <obs>/checkpoints.jsonl (-exp run; requires -obs)")
+		resume   = flag.Bool("resume", false, "flight recorder: resume an interrupted -exp run from the last checkpoint in <obs>/checkpoints.jsonl")
+		replay   = flag.String("replay", "", "flight recorder: replay the slot window \"[run:]A-B\" from the nearest checkpoint in <obs>/checkpoints.jsonl, printing its events and decisions (-exp run)")
 	)
 	flag.Parse()
 
@@ -89,8 +92,31 @@ func main() {
 		p.TraceCell = *exp
 	}
 
+	fl := flight{dir: *obsDir, every: *ckptEvry, resume: *resume, replay: *replay}
+	if fl.enabled() {
+		switch {
+		case *exp != "run":
+			fmt.Fprintln(os.Stderr, "hebsim: -checkpoint-every, -resume and -replay require -exp run")
+			os.Exit(2)
+		case *obsDir == "":
+			fmt.Fprintln(os.Stderr, "hebsim: -checkpoint-every, -resume and -replay require -obs (the directory holding checkpoints.jsonl)")
+			os.Exit(2)
+		case *resume && *replay != "":
+			fmt.Fprintln(os.Stderr, "hebsim: -resume and -replay are mutually exclusive")
+			os.Exit(2)
+		}
+		p.CheckpointEvery = *ckptEvry
+	}
+	if *replay != "" {
+		// A replay re-executes a window of an already-recorded run; it must
+		// inspect, not overwrite, that run's artifacts.
+		capture = nil
+		p.Capture = nil
+		p.CheckpointEvery = 0
+	}
+
 	if *exp == "run" {
-		err = runOnce(os.Stdout, p, *duration, *scheme, *wlName, *wlCSV, *patIn, *patOut)
+		err = runOnce(os.Stdout, p, *duration, *scheme, *wlName, *wlCSV, *patIn, *patOut, fl)
 	} else {
 		err = run(os.Stdout, *exp, p, *duration, units.Power(*load), *workers)
 	}
@@ -270,6 +296,9 @@ func progressLine(s runner.ProgressSnapshot, workers int) string {
 		s.Active, s.Queued, s.Utilization(workers)*100)
 	if s.Units > 0 {
 		line += fmt.Sprintf(", %.2fM steps/s", s.UnitsPerSecond()/1e6)
+	}
+	if s.Checkpoints > 0 {
+		line += fmt.Sprintf(", %d checkpoints", s.Checkpoints)
 	}
 	if s.Done > 0 {
 		line += fmt.Sprintf(", mean cell %.1fs", s.CellSeconds/float64(s.Done))
@@ -470,8 +499,9 @@ func multiseed(w io.Writer, p heb.Prototype, duration time.Duration, workers int
 }
 
 // runOnce executes a single scheme on a single workload — optionally a
-// recorded CSV trace — and prints the result with demand/SoC curves.
-func runOnce(w io.Writer, p heb.Prototype, duration time.Duration, scheme, wlName, wlCSV, patIn, patOut string) error {
+// recorded CSV trace — and prints the result with demand/SoC curves. fl
+// arms the flight recorder (checkpointing, resume, windowed replay).
+func runOnce(w io.Writer, p heb.Prototype, duration time.Duration, scheme, wlName, wlCSV, patIn, patOut string, fl flight) error {
 	var id heb.SchemeID
 	found := false
 	for _, s := range heb.AllSchemes() {
@@ -532,6 +562,14 @@ func runOnce(w io.Writer, p heb.Prototype, duration time.Duration, scheme, wlNam
 	if patOut != "" {
 		opts.TableSink = func(t *pat.Table) { learned = t }
 	}
+	var win *replayWindow
+	if fl.enabled() {
+		var werr error
+		win, werr = wireFlight(w, &p, &opts, fl)
+		if werr != nil {
+			return werr
+		}
+	}
 	res, err := p.Run(id, wl, opts)
 	if err != nil {
 		return err
@@ -561,6 +599,9 @@ func runOnce(w io.Writer, p heb.Prototype, duration time.Duration, scheme, wlNam
 	fmt.Fprintf(w, "battery wear: %.2f Ah throughput (%.2f equivalent full cycles), %.3g weighted Ah of %.0f rated, life used %.3g%%, est lifetime %.1f y\n",
 		wear.ThroughputAh, wear.EquivalentFullCycles, wear.WeightedAh, wear.RatedAh,
 		wear.LifeFractionUsed*100, res.BatteryLifetimeYears)
+	if win != nil {
+		win.report(w)
+	}
 	return nil
 }
 

@@ -2,8 +2,10 @@
 // written by `hebsim -obs dir/` (or obs.Capture.WriteFiles): the JSONL
 // files must parse through the obs package's own readers, the Prometheus
 // exposition must carry the engine counters and report zero dropped
-// events, every audit report must have passed, and a trace.json beside
-// the capture must satisfy the trace-event format rules. It prints a
+// events, every audit report must have passed, a checkpoints.jsonl must
+// carry an intact hash chain with monotone slot indices, and a
+// trace.json beside the capture must satisfy the trace-event format
+// rules. It prints a
 // one-line inventory and exits non-zero on any violation; verify.sh's
 // smoke tier drives it.
 //
@@ -113,6 +115,20 @@ func check(dir string, allowDrops bool) (string, error) {
 			}
 		}
 		inv += fmt.Sprintf(", %d audit reports (all passed)", len(reports))
+	}
+	if cf, err := os.Open(filepath.Join(dir, "checkpoints.jsonl")); err == nil {
+		records, rerr := obs.ReadCheckpoints(cf)
+		cf.Close()
+		if rerr != nil {
+			return "", fmt.Errorf("checkpoints.jsonl: %w", rerr)
+		}
+		if len(records) == 0 {
+			return "", fmt.Errorf("checkpoints.jsonl holds no records")
+		}
+		if verr := obs.ValidateCheckpoints(records); verr != nil {
+			return "", fmt.Errorf("checkpoints.jsonl: %w", verr)
+		}
+		inv += fmt.Sprintf(", %d checkpoints (chain intact)", len(records))
 	}
 	if tf, err := os.Open(filepath.Join(dir, "trace.json")); err == nil {
 		events, rerr := obs.ReadChromeTrace(tf)

@@ -1,0 +1,245 @@
+package heb
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"heb/internal/obs"
+)
+
+// flightArtifacts collects every artifact file a capture wrote.
+func flightArtifacts(t *testing.T, c *obs.Capture) map[string][]byte {
+	t.Helper()
+	dir := t.TempDir()
+	if err := c.WriteFiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][]byte{}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = b
+	}
+	return out
+}
+
+// flightProto is the shared configuration of the kill/resume and replay
+// tests: flight recorder at every slot, probes on, fresh capture.
+func flightProto(seed int64) Prototype {
+	p := DefaultPrototype()
+	p.Seed = seed
+	p.Capture = obs.NewCapture()
+	p.ProbeEvery = 60
+	p.CheckpointEvery = 1
+	return p
+}
+
+// TestKillAndResumeByteIdentical is the headline crash-recovery
+// guarantee: interrupt a run at an arbitrary step, resume from the last
+// checkpoint, and the Result plus every observability artifact —
+// events, decisions, probes, metrics and the checkpoint chain itself —
+// come out byte-identical to the run that was never interrupted.
+func TestKillAndResumeByteIdentical(t *testing.T) {
+	const d = 2 * time.Hour
+	pr, err := WorkloadNamed("PR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill points: a slot boundary, mid-slot, and deep into the run.
+	cases := []struct {
+		seed     int64
+		killStep int
+	}{
+		{seed: 1, killStep: 3000},
+		{seed: 7, killStep: 3457},
+		{seed: 42, killStep: 6601},
+	}
+	for _, tc := range cases {
+		wl := pr.WithDuration(d)
+
+		full := flightProto(tc.seed)
+		wantRes, err := full.Run(HEBD, wl, RunOptions{Duration: d})
+		if err != nil {
+			t.Fatalf("seed %d: full run: %v", tc.seed, err)
+		}
+		want := flightArtifacts(t, full.Capture)
+
+		killed := flightProto(tc.seed)
+		var records []obs.CheckpointRecord
+		_, err = killed.Run(HEBD, wl, RunOptions{
+			Duration:       d,
+			MaxSteps:       tc.killStep,
+			CheckpointSink: func(r obs.CheckpointRecord) { records = append(records, r) },
+		})
+		if err != nil {
+			t.Fatalf("seed %d: killed run: %v", tc.seed, err)
+		}
+		if len(records) == 0 {
+			t.Fatalf("seed %d: killed run left no checkpoints", tc.seed)
+		}
+
+		resumed := flightProto(tc.seed)
+		gotRes, err := resumed.Run(HEBD, wl, RunOptions{
+			Duration:          d,
+			ResumeCheckpoints: records,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: resumed run: %v", tc.seed, err)
+		}
+		if !reflect.DeepEqual(gotRes, wantRes) {
+			t.Errorf("seed %d: resumed Result differs:\n got %+v\nwant %+v", tc.seed, gotRes, wantRes)
+		}
+		got := flightArtifacts(t, resumed.Capture)
+		if len(got) != len(want) {
+			t.Errorf("seed %d: artifact sets differ: got %d files, want %d", tc.seed, len(got), len(want))
+		}
+		for name, wb := range want {
+			if !bytes.Equal(got[name], wb) {
+				t.Errorf("seed %d: %s differs between full and resumed run", tc.seed, name)
+			}
+		}
+	}
+}
+
+// TestReplayMatchesFromScratch is the time-travel guarantee for three
+// representative cells: fast-forwarding from a checkpoint and
+// re-executing a slot window produces the same Result and byte-identical
+// artifacts as running the same window from scratch.
+func TestReplayMatchesFromScratch(t *testing.T) {
+	const (
+		d        = 2 * time.Hour
+		a, b     = 5, 6 // replayed control slots
+		slotStep = 600
+	)
+	pr, err := WorkloadNamed("PR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := pr.WithDuration(d)
+	for _, id := range []SchemeID{HEBD, HEBF, SCFirst} {
+		scratch := flightProto(42)
+		var records []obs.CheckpointRecord
+		wantRes, err := scratch.Run(id, wl, RunOptions{
+			Duration:       d,
+			MaxSteps:       b * slotStep,
+			CheckpointSink: func(r obs.CheckpointRecord) { records = append(records, r) },
+		})
+		if err != nil {
+			t.Fatalf("%s: from-scratch run: %v", id, err)
+		}
+		want := flightArtifacts(t, scratch.Capture)
+
+		// Resume from the last checkpoint at or before the window start.
+		idx := -1
+		for i, r := range records {
+			if r.Slot <= a-1 {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			t.Fatalf("%s: no checkpoint at or before slot %d", id, a-1)
+		}
+		replayed := flightProto(42)
+		gotRes, err := replayed.Run(id, wl, RunOptions{
+			Duration:          d,
+			MaxSteps:          b * slotStep,
+			ResumeCheckpoints: records[:idx+1],
+		})
+		if err != nil {
+			t.Fatalf("%s: replay run: %v", id, err)
+		}
+		if !reflect.DeepEqual(gotRes, wantRes) {
+			t.Errorf("%s: replay Result differs:\n got %+v\nwant %+v", id, gotRes, wantRes)
+		}
+		got := flightArtifacts(t, replayed.Capture)
+		for name, wb := range want {
+			if !bytes.Equal(got[name], wb) {
+				t.Errorf("%s: %s differs between from-scratch and replay", id, name)
+			}
+		}
+	}
+}
+
+// TestCheckpointsDeterministicAcrossWorkers extends the worker-identity
+// guarantee to the checkpoint chain: a sweep's checkpoints.jsonl is
+// byte-identical whether cells ran on one worker or four.
+func TestCheckpointsDeterministicAcrossWorkers(t *testing.T) {
+	sweep := func(workers int) map[string][]byte {
+		p := DefaultPrototype()
+		p.Capture = obs.NewCapture()
+		p.CheckpointEvery = 2
+		_, err := MultiSeedComparison(p, MultiSeedOptions{
+			Seeds:    2,
+			Duration: 40 * time.Minute,
+			Workload: "PR",
+			Schemes:  []SchemeID{BaOnly, HEBD},
+			Workers:  workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return flightArtifacts(t, p.Capture)
+	}
+	seq := sweep(1)
+	par := sweep(4)
+	if _, ok := seq["checkpoints.jsonl"]; !ok {
+		t.Fatal("sweep wrote no checkpoints.jsonl")
+	}
+	for name, want := range seq {
+		if !bytes.Equal(par[name], want) {
+			t.Errorf("%s differs between workers=1 and workers=4", name)
+		}
+	}
+	// The chain file the capture wrote must itself validate.
+	records, err := obs.ReadCheckpoints(bytes.NewReader(seq["checkpoints.jsonl"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateCheckpoints(records); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResumeRejectsUncheckpointedObservers documents the composition
+// limits: per-step tracer and auditor state is not checkpointed, so
+// resuming with either attached must fail loudly instead of silently
+// producing divergent artifacts.
+func TestResumeRejectsUncheckpointedObservers(t *testing.T) {
+	const d = 40 * time.Minute
+	pr, err := WorkloadNamed("PR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := pr.WithDuration(d)
+
+	rec := flightProto(42)
+	var records []obs.CheckpointRecord
+	if _, err := rec.Run(HEBD, wl, RunOptions{
+		Duration:       d,
+		MaxSteps:       1200,
+		CheckpointSink: func(r obs.CheckpointRecord) { records = append(records, r) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	withTracer := flightProto(42)
+	withTracer.Tracer = obs.NewTracer()
+	if _, err := withTracer.Run(HEBD, wl, RunOptions{Duration: d, ResumeCheckpoints: records}); err == nil {
+		t.Error("resume with a span tracer should fail")
+	}
+	withAudit := flightProto(42)
+	withAudit.Audit = obs.AuditModeReport
+	if _, err := withAudit.Run(HEBD, wl, RunOptions{Duration: d, ResumeCheckpoints: records}); err == nil {
+		t.Error("resume with the energy auditor should fail")
+	}
+}

@@ -9,6 +9,7 @@
 package heb
 
 import (
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"time"
@@ -137,6 +138,15 @@ type Prototype struct {
 	// ProbeRing bounds the retained samples per device (0 selects
 	// obs.DefaultProbeRing); older samples are overwritten and counted.
 	ProbeRing int
+
+	// CheckpointEvery enables the flight recorder: every CheckpointEvery
+	// control slots the run's full state (engine, devices, controller,
+	// observability prefixes) is serialized into a hash-chained
+	// obs.CheckpointRecord. Records land in the Capture's
+	// checkpoints.jsonl and in RunOptions.CheckpointSink. Zero (the
+	// default) disables checkpointing and costs nothing — the engine
+	// never assembles state.
+	CheckpointEvery int
 
 	// Audit selects the energy-conservation auditor mode. AuditModeReport
 	// attaches per-run AuditReports to the Capture and Audits collectors;
@@ -389,6 +399,28 @@ type RunOptions struct {
 	// slot, with Seconds stamped from the slot ordinal and the
 	// prototype's slot length. Composes with the prototype's Capture.
 	DecisionTrace func(obs.DecisionRecord)
+
+	// CheckpointSink, when set together with the prototype's
+	// CheckpointEvery, receives each hash-chained checkpoint record as it
+	// is taken — the write-through hook hebsim uses to persist
+	// checkpoints.jsonl incrementally so a killed run leaves a usable
+	// chain behind. Records arrive with Run unset (the key is stamped at
+	// capture time); the hash excludes Run, so the chain stays valid.
+	CheckpointSink func(obs.CheckpointRecord)
+	// ResumeCheckpoints, when non-empty, resumes the run from the LAST
+	// record of this previously recorded chain instead of starting from
+	// scratch. The full chain is required (not just the last record) so
+	// the resumed run's own checkpoints.jsonl extends it byte-identically.
+	// The prototype and options must otherwise describe the same run that
+	// recorded the chain; mismatches surface as restore errors. Resume
+	// composes with Capture, probes and event sinks, but not with the
+	// Tracer or the energy auditor (their per-step state is not
+	// checkpointed).
+	ResumeCheckpoints []obs.CheckpointRecord
+	// MaxSteps, when positive, stops the engine after the given number of
+	// executed steps without end-of-run bookkeeping — the substrate of
+	// windowed replay (hebsim -replay) and of kill-and-resume testing.
+	MaxSteps int
 }
 
 // Run executes one scheme on one workload trace and returns the
@@ -465,6 +497,60 @@ func (p Prototype) Run(id SchemeID, workload Workload, opts RunOptions) (sim.Res
 	}
 	auditor := obs.NewAuditor(p.Audit, 0)
 
+	if len(opts.ResumeCheckpoints) > 0 {
+		// The tracer's span clock and the auditor's per-step ledger are
+		// not part of the checkpoint; resuming under either would record
+		// state that silently disagrees with an uninterrupted run.
+		if p.Tracer != nil {
+			return sim.Result{}, fmt.Errorf("heb: resume does not compose with the span tracer")
+		}
+		if auditor != nil {
+			return sim.Result{}, fmt.Errorf("heb: resume does not compose with the energy auditor")
+		}
+		if err := obs.ValidateCheckpoints(opts.ResumeCheckpoints); err != nil {
+			return sim.Result{}, fmt.Errorf("heb: resume chain: %w", err)
+		}
+	}
+	var ckptLog *obs.CheckpointLog
+	if p.CheckpointEvery > 0 && (p.Capture != nil || opts.CheckpointSink != nil) {
+		ckptLog = obs.NewCheckpointLog()
+		// Seeding with the prior chain makes the resumed run's
+		// checkpoints.jsonl a byte-identical extension of it.
+		ckptLog.Seed(opts.ResumeCheckpoints)
+	}
+	var checkpointFn func(slot, step int, now time.Duration, state []byte)
+	if ckptLog != nil {
+		sink := opts.CheckpointSink
+		progress := p.Progress
+		checkpointFn = func(slot, step int, now time.Duration, state []byte) {
+			cs := runCheckpointState{Engine: state}
+			if capLog != nil || probes != nil {
+				o := &runObsState{}
+				if capLog != nil {
+					o.Events = capLog.Events()
+					o.EventsDropped = capLog.Dropped()
+					o.Decisions = capDecisions.Records()
+				}
+				if probes != nil {
+					ps := probes.State()
+					o.Probes = &ps
+				}
+				cs.Obs = o
+			}
+			raw, err := json.Marshal(cs)
+			if err != nil {
+				panic(fmt.Sprintf("heb: marshal checkpoint: %v", err))
+			}
+			rec := ckptLog.Append(slot, step, now.Seconds(), raw)
+			if sink != nil {
+				sink(rec)
+			}
+			if progress != nil {
+				progress.AddCheckpoints(1)
+			}
+		}
+	}
+
 	ctrl, err := core.NewController(core.Config{
 		SmallPeakWatts:  p.SmallPeakWatts,
 		Budget:          budget,
@@ -529,27 +615,56 @@ func (p Prototype) Run(id SchemeID, workload Workload, opts RunOptions) (sim.Res
 		}
 	}
 	eng, err := sim.New(sim.Config{
-		Step:           p.Step,
-		Slot:           p.Slot,
-		Duration:       opts.Duration,
-		Servers:        servers,
-		Workload:       tr,
-		Battery:        battery,
-		Supercap:       scDev,
-		Feed:           feed,
-		Renewable:      opts.Renewable,
-		Controller:     ctrl,
-		Topology:       p.Topology,
-		ChargePriority: charge,
-		Observer:       opts.Observer,
-		Events:         events,
-		Probes:         probes,
-		ProbeEvery:     p.ProbeEvery,
-		Audit:          auditor,
-		Spans:          span,
+		Step:            p.Step,
+		Slot:            p.Slot,
+		Duration:        opts.Duration,
+		Servers:         servers,
+		Workload:        tr,
+		Battery:         battery,
+		Supercap:        scDev,
+		Feed:            feed,
+		Renewable:       opts.Renewable,
+		Controller:      ctrl,
+		Topology:        p.Topology,
+		ChargePriority:  charge,
+		Observer:        opts.Observer,
+		Events:          events,
+		Probes:          probes,
+		ProbeEvery:      p.ProbeEvery,
+		Audit:           auditor,
+		Spans:           span,
+		MaxSteps:        opts.MaxSteps,
+		CheckpointEvery: p.CheckpointEvery,
+		Checkpoints:     checkpointFn,
 	})
 	if err != nil {
 		return sim.Result{}, err
+	}
+	if len(opts.ResumeCheckpoints) > 0 {
+		last := opts.ResumeCheckpoints[len(opts.ResumeCheckpoints)-1]
+		var cs runCheckpointState
+		if err := json.Unmarshal(last.State, &cs); err != nil {
+			return sim.Result{}, fmt.Errorf("heb: decode checkpoint state: %w", err)
+		}
+		if cs.Obs != nil {
+			if capLog != nil {
+				capLog.Restore(cs.Obs.Events, cs.Obs.EventsDropped)
+				capDecisions.Restore(cs.Obs.Decisions)
+			}
+			if probes != nil {
+				if cs.Obs.Probes == nil {
+					return sim.Result{}, fmt.Errorf("heb: checkpoint carries no probe state but probes are enabled")
+				}
+				if err := probes.Restore(*cs.Obs.Probes); err != nil {
+					return sim.Result{}, err
+				}
+			}
+		} else if capLog != nil || probes != nil {
+			return sim.Result{}, fmt.Errorf("heb: checkpoint carries no observability state but capture/probes are enabled")
+		}
+		if err := eng.RestoreJSON(cs.Engine); err != nil {
+			return sim.Result{}, err
+		}
 	}
 	res := eng.Run()
 	// A trailing slot the run ended inside still deserves its record, so
@@ -585,6 +700,9 @@ func (p Prototype) Run(id SchemeID, workload Workload, opts RunOptions) (sim.Res
 		if probes != nil {
 			artifact.Probes = probes.Samples()
 			artifact.ProbesDropped = probes.Dropped()
+		}
+		if ckptLog != nil {
+			artifact.Checkpoints = ckptLog.Records()
 		}
 		if auditor != nil {
 			artifact.Audit = &audit

@@ -78,6 +78,9 @@ type Controller struct {
 	havePending             bool
 
 	noise *rand.Rand
+	// noiseDraws counts Float64 draws taken from noise, so a checkpoint
+	// can rebuild the generator at the exact same stream position.
+	noiseDraws int64
 }
 
 // NewController wires a controller around the given scheme.
@@ -244,6 +247,7 @@ func (c *Controller) PredictionErrors() (peak, valley forecast.Errors) {
 // perturb applies the injected multiplicative sensor error, clamped to
 // the physically possible [0, capacity] range.
 func (c *Controller) perturb(v, capacity units.Energy) units.Energy {
+	c.noiseDraws++
 	f := 1 + (c.noise.Float64()*2-1)*c.cfg.SensorNoise
 	out := units.Energy(float64(v) * f)
 	if out < 0 {

@@ -1,0 +1,165 @@
+package esd
+
+import "fmt"
+
+// This file is the device half of the flight recorder: every Device can
+// dump its full mutable state into a JSON-able DeviceState and later be
+// restored from one, bit-for-bit. Restore writes fields directly — no
+// Charge/Discharge/Reset side effects — so a restored device continues
+// exactly as the original would have. Configuration is deliberately NOT
+// serialized: a checkpoint restores into a freshly constructed device of
+// the same configuration, and the kind/member-count guards catch the
+// obvious mismatches.
+
+// BatteryState is the serialized mutable state of a Battery: the KiBaM
+// wells, fault flag, thermal state, energy ledger and wear accumulators.
+type BatteryState struct {
+	// Q1 and Q2 are the available and bound charge wells in coulombs.
+	Q1 float64 `json:"q1"`
+	Q2 float64 `json:"q2"`
+	// Failed is the injected-fault flag.
+	Failed bool `json:"failed,omitempty"`
+	// TempC and PeakC are the present and peak cell temperatures.
+	TempC float64 `json:"temp_c"`
+	PeakC float64 `json:"peak_c"`
+	// Stats is the cumulative energy ledger.
+	Stats Stats `json:"stats"`
+	// ThroughputAh, WeightedAh, LastWeight and PeakWeight mirror the
+	// weighted Ah-throughput wear tracker.
+	ThroughputAh float64 `json:"throughput_ah"`
+	WeightedAh   float64 `json:"weighted_ah"`
+	LastWeight   float64 `json:"last_weight"`
+	PeakWeight   float64 `json:"peak_weight"`
+}
+
+// SupercapState is the serialized mutable state of a Supercap.
+type SupercapState struct {
+	// V is the open-circuit voltage.
+	V float64 `json:"v"`
+	// Failed is the injected-fault flag.
+	Failed bool `json:"failed,omitempty"`
+	// Stats is the cumulative energy ledger.
+	Stats Stats `json:"stats"`
+}
+
+// DeviceState is a kind-tagged union covering every Device implementation,
+// including nested pools.
+type DeviceState struct {
+	// Kind is "battery", "supercap", "null" or "pool".
+	Kind     string         `json:"kind"`
+	Battery  *BatteryState  `json:"battery,omitempty"`
+	Supercap *SupercapState `json:"supercap,omitempty"`
+	// Members holds per-member state for pools, in member order.
+	Members []DeviceState `json:"members,omitempty"`
+}
+
+// Checkpoint captures the battery's mutable state.
+func (b *Battery) Checkpoint() BatteryState {
+	return BatteryState{
+		Q1:           b.q1,
+		Q2:           b.q2,
+		Failed:       b.failed,
+		TempC:        b.thermal.tempC,
+		PeakC:        b.thermal.peakC,
+		Stats:        b.stats,
+		ThroughputAh: b.wear.throughputAh,
+		WeightedAh:   b.wear.weightedAh,
+		LastWeight:   b.wear.lastWeight,
+		PeakWeight:   b.wear.peakWeight,
+	}
+}
+
+// Restore overwrites the battery's mutable state from a checkpoint.
+func (b *Battery) Restore(s BatteryState) {
+	b.q1 = s.Q1
+	b.q2 = s.Q2
+	b.failed = s.Failed
+	b.thermal.tempC = s.TempC
+	b.thermal.peakC = s.PeakC
+	b.stats = s.Stats
+	b.wear = wearTracker{
+		throughputAh: s.ThroughputAh,
+		weightedAh:   s.WeightedAh,
+		lastWeight:   s.LastWeight,
+		peakWeight:   s.PeakWeight,
+	}
+}
+
+// Checkpoint captures the bank's mutable state.
+func (s *Supercap) Checkpoint() SupercapState {
+	return SupercapState{V: s.v, Failed: s.failed, Stats: s.stats}
+}
+
+// Restore overwrites the bank's mutable state from a checkpoint.
+func (s *Supercap) Restore(st SupercapState) {
+	s.v = st.V
+	s.failed = st.Failed
+	s.stats = st.Stats
+}
+
+// CheckpointDevice serializes any Device implementation, recursing into
+// pools. Unknown implementations are an error: a device the recorder
+// cannot serialize must not silently escape the checkpoint.
+func CheckpointDevice(d Device) (DeviceState, error) {
+	switch v := d.(type) {
+	case *Battery:
+		st := v.Checkpoint()
+		return DeviceState{Kind: "battery", Battery: &st}, nil
+	case *Supercap:
+		st := v.Checkpoint()
+		return DeviceState{Kind: "supercap", Supercap: &st}, nil
+	case Null:
+		return DeviceState{Kind: "null"}, nil
+	case *Pool:
+		out := DeviceState{Kind: "pool", Members: make([]DeviceState, len(v.members))}
+		for i, m := range v.members {
+			ms, err := CheckpointDevice(m)
+			if err != nil {
+				return DeviceState{}, fmt.Errorf("esd: pool %q member %d: %w", v.name, i, err)
+			}
+			out.Members[i] = ms
+		}
+		return out, nil
+	default:
+		return DeviceState{}, fmt.Errorf("esd: cannot checkpoint device type %T", d)
+	}
+}
+
+// RestoreDevice writes a checkpointed state back into a freshly built
+// device of the same shape; kind or pool-size mismatches are errors.
+func RestoreDevice(d Device, s DeviceState) error {
+	switch v := d.(type) {
+	case *Battery:
+		if s.Kind != "battery" || s.Battery == nil {
+			return fmt.Errorf("esd: restore kind %q into battery", s.Kind)
+		}
+		v.Restore(*s.Battery)
+		return nil
+	case *Supercap:
+		if s.Kind != "supercap" || s.Supercap == nil {
+			return fmt.Errorf("esd: restore kind %q into supercap", s.Kind)
+		}
+		v.Restore(*s.Supercap)
+		return nil
+	case Null:
+		if s.Kind != "null" {
+			return fmt.Errorf("esd: restore kind %q into null device", s.Kind)
+		}
+		return nil
+	case *Pool:
+		if s.Kind != "pool" {
+			return fmt.Errorf("esd: restore kind %q into pool %q", s.Kind, v.name)
+		}
+		if len(s.Members) != len(v.members) {
+			return fmt.Errorf("esd: restore pool %q: %d member states for %d members", v.name, len(s.Members), len(v.members))
+		}
+		for i, m := range v.members {
+			if err := RestoreDevice(m, s.Members[i]); err != nil {
+				return fmt.Errorf("esd: pool %q member %d: %w", v.name, i, err)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("esd: cannot restore device type %T", d)
+	}
+}

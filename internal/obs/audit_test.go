@@ -35,9 +35,9 @@ func TestNilAuditorIsSafeAndOff(t *testing.T) {
 
 func TestRecordStepFlagsDriftAboveTolerance(t *testing.T) {
 	a := NewAuditor(AuditModeReport, 1e-6)
-	a.RecordStep(0, 100, 100)           // balanced
-	a.RecordStep(1, 100, 100+5e-5)      // relative 5e-7 < tol: fine
-	a.RecordStep(2, 1e-12, 3e-12)       // relative 2/3 but absolute 2e-12 < 1e-9 floor: fine
+	a.RecordStep(0, 100, 100)      // balanced
+	a.RecordStep(1, 100, 100+5e-5) // relative 5e-7 < tol: fine
+	a.RecordStep(2, 1e-12, 3e-12)  // relative 2/3 but absolute 2e-12 < 1e-9 floor: fine
 	if a.Violated() {
 		t.Fatal("tolerable steps flagged")
 	}

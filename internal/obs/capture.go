@@ -35,6 +35,9 @@ type RunArtifact struct {
 	// Audit is the run's energy-conservation verdict (audits.jsonl), nil
 	// when the run was not audited.
 	Audit *AuditReport
+	// Checkpoints holds the run's hash-chained flight-recorder records
+	// (checkpoints.jsonl), empty when checkpointing was off.
+	Checkpoints []CheckpointRecord
 }
 
 // Capture aggregates the per-run observability artifacts of a sweep and
@@ -90,6 +93,11 @@ func (c *Capture) Contribute(a RunArtifact) {
 	}
 	if a.Audit != nil && a.Audit.Run == "" {
 		a.Audit.Run = a.Key
+	}
+	for i := range a.Checkpoints {
+		if a.Checkpoints[i].Run == "" {
+			a.Checkpoints[i].Run = a.Key
+		}
 	}
 	c.mu.Lock()
 	c.runs = append(c.runs, a)
@@ -147,6 +155,11 @@ func artifactFingerprint(a RunArtifact) string {
 		fmt.Fprintf(&sb, "|audit=%s:%d:%g:%g:%d:%v", a.Audit.Mode, a.Audit.Steps,
 			a.Audit.DriftWh, a.Audit.RelDrift, a.Audit.Violations, a.Audit.Passed)
 	}
+	fmt.Fprintf(&sb, "|ckpts=%d", len(a.Checkpoints))
+	for _, r := range a.Checkpoints {
+		// The chain hash already covers slot, step, time and state.
+		fmt.Fprintf(&sb, "|%s", r.Hash)
+	}
 	return sb.String()
 }
 
@@ -197,9 +210,10 @@ func countKinds(events []Event) map[EventKind]int {
 }
 
 // WriteFiles writes events.jsonl, decisions.jsonl and metrics.prom into
-// dir, creating it if needed; probes.jsonl and audits.jsonl follow
-// whenever any run contributed probe samples or an audit report. Output
-// depends only on the contributed artifacts, never on contribution order.
+// dir, creating it if needed; probes.jsonl, audits.jsonl and
+// checkpoints.jsonl follow whenever any run contributed probe samples, an
+// audit report or flight-recorder checkpoints. Output depends only on the
+// contributed artifacts, never on contribution order.
 func (c *Capture) WriteFiles(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("obs: capture dir: %w", err)
@@ -210,6 +224,7 @@ func (c *Capture) WriteFiles(dir string) error {
 	var decisions []DecisionRecord
 	var probes []ProbeSample
 	var audits []AuditReport
+	var checkpoints []CheckpointRecord
 	for _, a := range runs {
 		events = append(events, a.Events...)
 		decisions = append(decisions, a.Decisions...)
@@ -217,6 +232,7 @@ func (c *Capture) WriteFiles(dir string) error {
 		if a.Audit != nil {
 			audits = append(audits, *a.Audit)
 		}
+		checkpoints = append(checkpoints, a.Checkpoints...)
 	}
 
 	if err := writeTo(filepath.Join(dir, "events.jsonl"), func(f *os.File) error {
@@ -239,6 +255,13 @@ func (c *Capture) WriteFiles(dir string) error {
 	if len(audits) > 0 {
 		if err := writeTo(filepath.Join(dir, "audits.jsonl"), func(f *os.File) error {
 			return WriteAuditsJSONL(f, audits)
+		}); err != nil {
+			return err
+		}
+	}
+	if len(checkpoints) > 0 {
+		if err := writeTo(filepath.Join(dir, "checkpoints.jsonl"), func(f *os.File) error {
+			return WriteCheckpointsJSONL(f, checkpoints)
 		}); err != nil {
 			return err
 		}

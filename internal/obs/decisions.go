@@ -93,6 +93,13 @@ func (l *DecisionLog) Len() int {
 	return len(l.records)
 }
 
+// Restore replaces the log's contents with a checkpointed prefix.
+func (l *DecisionLog) Restore(records []DecisionRecord) {
+	l.mu.Lock()
+	l.records = append([]DecisionRecord(nil), records...)
+	l.mu.Unlock()
+}
+
 // Records returns a copy of the stored records in append order.
 func (l *DecisionLog) Records() []DecisionRecord {
 	l.mu.Lock()

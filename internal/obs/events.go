@@ -157,6 +157,16 @@ func (l *Log) Dropped() int {
 	return l.dropped
 }
 
+// Restore replaces the log's contents with a checkpointed prefix: the
+// given events (copied) and drop count. The capacity is unchanged, so a
+// resumed run keeps truncating exactly where the original would have.
+func (l *Log) Restore(events []Event, dropped int) {
+	l.mu.Lock()
+	l.events = append([]Event(nil), events...)
+	l.dropped = dropped
+	l.mu.Unlock()
+}
+
 // Events returns a copy of the stored events in emission order.
 func (l *Log) Events() []Event {
 	l.mu.Lock()

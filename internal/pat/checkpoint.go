@@ -1,0 +1,41 @@
+package pat
+
+import "fmt"
+
+// TableState is the flight-recorder snapshot of a PAT: the learned
+// entries (with their hit/update counters) plus the lookup statistics.
+// The configuration rides along for validation — a checkpoint restores
+// into a table of the same binning, never a different one.
+type TableState struct {
+	Config  Config  `json:"config"`
+	Entries []Entry `json:"entries"`
+	Lookups int     `json:"lookups"`
+	Misses  int     `json:"misses"`
+}
+
+// Checkpoint captures the table's learned state and statistics.
+func (t *Table) Checkpoint() TableState {
+	lookups, misses := t.Stats()
+	return TableState{
+		Config:  t.cfg,
+		Entries: t.Entries(),
+		Lookups: lookups,
+		Misses:  misses,
+	}
+}
+
+// Restore overwrites the table's entries and statistics from a
+// checkpoint. The checkpointed configuration must match the table's.
+func (t *Table) Restore(s TableState) error {
+	if s.Config != t.cfg {
+		return fmt.Errorf("pat: restore config %+v into table with config %+v", s.Config, t.cfg)
+	}
+	t.entries = make(map[Key]*Entry, len(s.Entries))
+	for _, e := range s.Entries {
+		e := e
+		t.entries[e.Key] = &e
+	}
+	t.lookups = s.Lookups
+	t.misses = s.Misses
+	return nil
+}

@@ -1,0 +1,112 @@
+package power
+
+import (
+	"fmt"
+	"time"
+
+	"heb/internal/units"
+)
+
+// Flight-recorder state for the power-delivery layer. Restore writes
+// fields directly — it never goes through Assign/PowerOn/PowerOff — so no
+// switch listeners fire, no boot-energy waste is charged and no relay
+// counters move while reinstating a snapshot.
+
+// ServerState is the serialized mutable state of one Server.
+type ServerState struct {
+	On         bool         `json:"on"`
+	Util       float64      `json:"util"`
+	Freq       FreqLevel    `json:"freq"`
+	Cycles     int          `json:"cycles,omitempty"`
+	WastedBoot units.Energy `json:"wasted_boot,omitempty"`
+}
+
+// FabricState is the serialized mutable state of the relay fabric and its
+// servers, indexed by dense server position (constructor order).
+type FabricState struct {
+	Assign   []Source          `json:"assign"`
+	LastUse  []time.Duration   `json:"last_use"`
+	Stuck    []bool            `json:"stuck,omitempty"`
+	Offline  int               `json:"offline,omitempty"`
+	Switches [NumSources]int64 `json:"switches"`
+	Meter    Meter             `json:"meter"`
+	Servers  []ServerState     `json:"servers"`
+}
+
+// Checkpoint captures the server's mutable state.
+func (s *Server) Checkpoint() ServerState {
+	return ServerState{On: s.on, Util: s.util, Freq: s.freq, Cycles: s.cycles, WastedBoot: s.wastedBoot}
+}
+
+// Restore overwrites the server's mutable state from a checkpoint without
+// charging boot energy or counting a power cycle.
+func (s *Server) Restore(st ServerState) {
+	s.on = st.On
+	s.util = st.Util
+	s.freq = st.Freq
+	s.cycles = st.Cycles
+	s.wastedBoot = st.WastedBoot
+}
+
+// Checkpoint captures the fabric's mutable state, including every server.
+func (f *Fabric) Checkpoint() FabricState {
+	st := FabricState{
+		Assign:   append([]Source(nil), f.assign...),
+		LastUse:  append([]time.Duration(nil), f.lastUse...),
+		Stuck:    append([]bool(nil), f.stuck...),
+		Offline:  f.offline,
+		Switches: f.switches,
+		Meter:    f.meter,
+		Servers:  make([]ServerState, len(f.servers)),
+	}
+	for i, s := range f.servers {
+		st.Servers[i] = s.Checkpoint()
+	}
+	return st
+}
+
+// Restore overwrites the fabric's mutable state from a checkpoint. The
+// fabric must have the same server count as the one checkpointed.
+func (f *Fabric) Restore(st FabricState) error {
+	if len(st.Assign) != len(f.servers) || len(st.Servers) != len(f.servers) || len(st.LastUse) != len(f.servers) {
+		return fmt.Errorf("power: restore fabric: state covers %d servers, fabric has %d", len(st.Servers), len(f.servers))
+	}
+	copy(f.assign, st.Assign)
+	copy(f.lastUse, st.LastUse)
+	if len(st.Stuck) == len(f.stuck) {
+		copy(f.stuck, st.Stuck)
+	} else {
+		for i := range f.stuck {
+			f.stuck[i] = false
+		}
+	}
+	f.offline = st.Offline
+	f.switches = st.Switches
+	f.meter = st.Meter
+	for i, s := range f.servers {
+		s.Restore(st.Servers[i])
+	}
+	return nil
+}
+
+// UtilityFeedState is the serialized mutable state of a UtilityFeed.
+// TraceFeed replays a precomputed series and carries no mutable state.
+type UtilityFeedState struct {
+	Drawn units.Energy `json:"drawn"`
+	Peak  units.Power  `json:"peak"`
+}
+
+// Checkpoint captures the feed's cumulative meters.
+func (f *UtilityFeed) Checkpoint() UtilityFeedState {
+	return UtilityFeedState{Drawn: f.drawn, Peak: f.peak}
+}
+
+// Restore overwrites the feed's cumulative meters from a checkpoint.
+func (f *UtilityFeed) Restore(st UtilityFeedState) {
+	f.drawn = st.Drawn
+	f.peak = st.Peak
+}
+
+// RestoreLoss overwrites the stage's cumulative loss meter (the flight
+// recorder's counterpart to AddLoss, which can only accumulate).
+func (c *Converter) RestoreLoss(e units.Energy) { c.loss = e }

@@ -21,6 +21,7 @@ type Progress struct {
 	active     atomic.Int64
 	cellNanos  atomic.Int64
 	units      atomic.Int64
+	ckpts      atomic.Int64
 	firstStart atomic.Int64 // unix nanos of the first job start, 0 = none
 }
 
@@ -38,6 +39,8 @@ type ProgressSnapshot struct {
 	CellSeconds float64
 	// Units is the caller-fed work counter (e.g. simulation steps).
 	Units int64
+	// Checkpoints counts flight-recorder records taken across the sweep.
+	Checkpoints int64
 	// Elapsed is wall time since the first job started.
 	Elapsed time.Duration
 }
@@ -65,6 +68,9 @@ func (s ProgressSnapshot) UnitsPerSecond() float64 {
 // AddUnits feeds the generic work counter (call it from job fns).
 func (p *Progress) AddUnits(n int64) { p.units.Add(n) }
 
+// AddCheckpoints counts flight-recorder records as they are taken.
+func (p *Progress) AddCheckpoints(n int64) { p.ckpts.Add(n) }
+
 // Snapshot returns the current state.
 func (p *Progress) Snapshot() ProgressSnapshot {
 	s := ProgressSnapshot{
@@ -74,6 +80,7 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 		Failed:      int(p.failed.Load()),
 		CellSeconds: time.Duration(p.cellNanos.Load()).Seconds(),
 		Units:       p.units.Load(),
+		Checkpoints: p.ckpts.Load(),
 	}
 	s.Queued = s.Total - int(p.started.Load())
 	if s.Queued < 0 {

@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"heb/internal/core"
+	"heb/internal/esd"
+	"heb/internal/power"
+	"heb/internal/units"
+)
+
+// CappedFreq records one server's pre-capping frequency in a checkpoint;
+// the engine's map serializes as a sorted slice so the encoding is
+// deterministic across runs and worker counts.
+type CappedFreq struct {
+	ID   int             `json:"id"`
+	Freq power.FreqLevel `json:"freq"`
+}
+
+// EngineState is the flight-recorder snapshot of a run at a control-slot
+// boundary: every accumulator, the in-flight slot plan, and the full
+// state of the storage devices, relay fabric, controller and feed.
+// Restoring it into a freshly built engine of the same configuration and
+// resuming produces step, event, decision and probe sequences identical
+// to the uninterrupted run.
+type EngineState struct {
+	Steps int           `json:"steps"`
+	Now   time.Duration `json:"now"`
+
+	Decision      core.Decision `json:"decision"`
+	View          core.SlotView `json:"view"`
+	SlotPeak      units.Power   `json:"slot_peak"`
+	SlotValley    units.Power   `json:"slot_valley"`
+	SlotHasSample bool          `json:"slot_has_sample"`
+
+	InMismatch bool      `json:"in_mismatch"`
+	LastMode   core.Mode `json:"last_mode"`
+	HaveMode   bool      `json:"have_mode"`
+
+	LastShed time.Duration `json:"last_shed"`
+	HasShed  bool          `json:"has_shed"`
+
+	CappedFrom   []CappedFreq `json:"capped_from,omitempty"`
+	DegradedSecs float64      `json:"degraded_secs"`
+
+	ServedSC      units.Energy `json:"served_sc"`
+	ServedBA      units.Energy `json:"served_ba"`
+	RenewGen      units.Energy `json:"renew_gen"`
+	RenewUsed     units.Energy `json:"renew_used"`
+	RenewStored   units.Energy `json:"renew_stored"`
+	RenewSpilled  units.Energy `json:"renew_spilled"`
+	UtilityDrawn  units.Energy `json:"utility_drawn"`
+	UtilityPeak   units.Power  `json:"utility_peak"`
+	InitialStored units.Energy `json:"initial_stored"`
+
+	DemandSeries []float64 `json:"demand_series"`
+	SlotPeaks    []float64 `json:"slot_peaks"`
+	SlotValleys  []float64 `json:"slot_valleys"`
+
+	ShedEvents    int `json:"shed_events"`
+	MismatchSteps int `json:"mismatch_steps"`
+
+	DischargeConvLoss units.Energy `json:"discharge_conv_loss"`
+	UtilityConvLoss   units.Energy `json:"utility_conv_loss"`
+
+	Battery  esd.DeviceState   `json:"battery"`
+	Supercap *esd.DeviceState  `json:"supercap,omitempty"`
+	Fabric   power.FabricState `json:"fabric"`
+
+	Controller core.ControllerState `json:"controller"`
+
+	Feed *power.UtilityFeedState `json:"feed,omitempty"`
+}
+
+// Checkpoint assembles the engine's current state. It is meaningful only
+// at a slot boundary (after finishSlot and the next planSlot), which is
+// where Run invokes it.
+func (e *Engine) Checkpoint() (EngineState, error) {
+	st := EngineState{
+		Steps:         e.steps,
+		Now:           e.now,
+		Decision:      e.decision,
+		View:          e.view,
+		SlotPeak:      e.slotPeak,
+		SlotValley:    e.slotValley,
+		SlotHasSample: e.slotHasSample,
+		InMismatch:    e.inMismatch,
+		LastMode:      e.lastMode,
+		HaveMode:      e.haveMode,
+		LastShed:      e.lastShed,
+		HasShed:       e.hasShed,
+		DegradedSecs:  e.degradedSecs,
+		ServedSC:      e.servedSC,
+		ServedBA:      e.servedBA,
+		RenewGen:      e.renewGen,
+		RenewUsed:     e.renewUsed,
+		RenewStored:   e.renewStored,
+		RenewSpilled:  e.renewSpilled,
+		UtilityDrawn:  e.utilityDrawn,
+		UtilityPeak:   e.utilityPeak,
+		InitialStored: e.initialStored,
+		DemandSeries:  append([]float64(nil), e.demandSeries...),
+		SlotPeaks:     append([]float64(nil), e.slotPeaks...),
+		SlotValleys:   append([]float64(nil), e.slotValleys...),
+		ShedEvents:    e.shedEvents,
+		MismatchSteps: e.mismatchSteps,
+		Fabric:        e.fabric.Checkpoint(),
+	}
+	if e.dischargeConv != nil {
+		st.DischargeConvLoss = e.dischargeConv.Loss()
+	}
+	if e.utilityConv != nil {
+		st.UtilityConvLoss = e.utilityConv.Loss()
+	}
+	if len(e.cappedFrom) > 0 {
+		st.CappedFrom = make([]CappedFreq, 0, len(e.cappedFrom))
+		for id, f := range e.cappedFrom {
+			st.CappedFrom = append(st.CappedFrom, CappedFreq{ID: id, Freq: f})
+		}
+		sort.Slice(st.CappedFrom, func(i, j int) bool { return st.CappedFrom[i].ID < st.CappedFrom[j].ID })
+	}
+	var err error
+	if st.Battery, err = esd.CheckpointDevice(e.cfg.Battery); err != nil {
+		return EngineState{}, fmt.Errorf("sim: checkpoint battery: %w", err)
+	}
+	if e.cfg.Supercap != nil {
+		ds, err := esd.CheckpointDevice(e.cfg.Supercap)
+		if err != nil {
+			return EngineState{}, fmt.Errorf("sim: checkpoint supercap: %w", err)
+		}
+		st.Supercap = &ds
+	}
+	if st.Controller, err = e.cfg.Controller.Checkpoint(); err != nil {
+		return EngineState{}, fmt.Errorf("sim: checkpoint controller: %w", err)
+	}
+	if uf, ok := e.cfg.Feed.(*power.UtilityFeed); ok {
+		fs := uf.Checkpoint()
+		st.Feed = &fs
+	}
+	return st, nil
+}
+
+// emitCheckpoint marshals the state and hands it to the configured sink.
+// It runs only at checkpointed slot boundaries, never in the hot loop.
+func (e *Engine) emitCheckpoint(slot, step int, now time.Duration) {
+	st, err := e.Checkpoint()
+	if err != nil {
+		// State assembly fails only on a device/predictor type the
+		// serializer does not know; surface loudly rather than record a
+		// silently broken chain.
+		panic(fmt.Sprintf("sim: checkpoint at slot %d: %v", slot, err))
+	}
+	raw, err := json.Marshal(st)
+	if err != nil {
+		panic(fmt.Sprintf("sim: marshal checkpoint at slot %d: %v", slot, err))
+	}
+	e.cfg.Checkpoints(slot, step, now, raw)
+}
+
+// Restore overwrites the engine's state from a checkpoint taken by an
+// engine of the same configuration. The next Run resumes at the
+// checkpointed step with the checkpointed slot plan already in flight.
+func (e *Engine) Restore(st EngineState) error {
+	if st.Steps < 0 {
+		return fmt.Errorf("sim: restore negative step count %d", st.Steps)
+	}
+	if err := esd.RestoreDevice(e.cfg.Battery, st.Battery); err != nil {
+		return fmt.Errorf("sim: restore battery: %w", err)
+	}
+	if e.cfg.Supercap != nil {
+		if st.Supercap == nil {
+			return fmt.Errorf("sim: checkpoint has no supercap state but engine has a supercap pool")
+		}
+		if err := esd.RestoreDevice(e.cfg.Supercap, *st.Supercap); err != nil {
+			return fmt.Errorf("sim: restore supercap: %w", err)
+		}
+	} else if st.Supercap != nil {
+		return fmt.Errorf("sim: checkpoint has supercap state but engine has no supercap pool")
+	}
+	if err := e.fabric.Restore(st.Fabric); err != nil {
+		return fmt.Errorf("sim: restore fabric: %w", err)
+	}
+	if err := e.cfg.Controller.Restore(st.Controller); err != nil {
+		return fmt.Errorf("sim: restore controller: %w", err)
+	}
+	if uf, ok := e.cfg.Feed.(*power.UtilityFeed); ok {
+		if st.Feed == nil {
+			return fmt.Errorf("sim: checkpoint has no feed state but engine feed is metered")
+		}
+		uf.Restore(*st.Feed)
+	} else if st.Feed != nil {
+		return fmt.Errorf("sim: checkpoint has feed state but engine feed is unmetered")
+	}
+	if e.dischargeConv != nil {
+		e.dischargeConv.RestoreLoss(st.DischargeConvLoss)
+	}
+	if e.utilityConv != nil {
+		e.utilityConv.RestoreLoss(st.UtilityConvLoss)
+	}
+
+	e.steps = st.Steps
+	e.now = st.Now
+	e.decision = st.Decision
+	e.view = st.View
+	e.slotPeak = st.SlotPeak
+	e.slotValley = st.SlotValley
+	e.slotHasSample = st.SlotHasSample
+	e.inMismatch = st.InMismatch
+	e.lastMode = st.LastMode
+	e.haveMode = st.HaveMode
+	e.lastShed = st.LastShed
+	e.hasShed = st.HasShed
+	e.degradedSecs = st.DegradedSecs
+	e.servedSC = st.ServedSC
+	e.servedBA = st.ServedBA
+	e.renewGen = st.RenewGen
+	e.renewUsed = st.RenewUsed
+	e.renewStored = st.RenewStored
+	e.renewSpilled = st.RenewSpilled
+	e.utilityDrawn = st.UtilityDrawn
+	e.utilityPeak = st.UtilityPeak
+	e.initialStored = st.InitialStored
+	e.demandSeries = append([]float64(nil), st.DemandSeries...)
+	e.slotPeaks = append([]float64(nil), st.SlotPeaks...)
+	e.slotValleys = append([]float64(nil), st.SlotValleys...)
+	e.shedEvents = st.ShedEvents
+	e.mismatchSteps = st.MismatchSteps
+	e.cappedFrom = nil
+	if len(st.CappedFrom) > 0 {
+		e.cappedFrom = make(map[int]power.FreqLevel, len(st.CappedFrom))
+		for _, cf := range st.CappedFrom {
+			e.cappedFrom[cf.ID] = cf.Freq
+		}
+	}
+	e.startStep = st.Steps
+	return nil
+}
+
+// RestoreJSON is Restore from the serialized form the checkpoint sink
+// received.
+func (e *Engine) RestoreJSON(raw []byte) error {
+	var st EngineState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("sim: decode checkpoint: %w", err)
+	}
+	return e.Restore(st)
+}

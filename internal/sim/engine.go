@@ -133,6 +133,25 @@ type Config struct {
 	// Spans, when set, is the trace track this run records its span
 	// hierarchy on (run → slot plan/finish → step batches).
 	Spans *obs.Track
+
+	// Checkpoints, when set together with a positive CheckpointEvery,
+	// receives the engine's serialized state (see EngineState) at
+	// checkpointed slot boundaries — after the boundary's finish/plan,
+	// before the first step of the new slot. A nil sink is the fast
+	// path: no state is assembled at all, so the hot loop stays
+	// allocation-free (guarded by BenchmarkEngineCheckpointDisabled).
+	Checkpoints func(slot, step int, now time.Duration, state []byte)
+	// CheckpointEvery is the checkpoint decimation in control slots
+	// (1 = every slot boundary). Zero disables checkpointing even when
+	// a sink is installed.
+	CheckpointEvery int
+
+	// MaxSteps, when positive, stops the run after executing steps
+	// [0, MaxSteps) — or [startStep, MaxSteps) when resuming — without
+	// the usual end-of-run bookkeeping (no trailing slot finish, no
+	// run_end event). It is the substrate of windowed replay and of the
+	// kill half of kill-and-resume tests.
+	MaxSteps int
 }
 
 // StepInfo is the per-tick state snapshot passed to Config.Observer.
@@ -233,6 +252,10 @@ type Engine struct {
 	// governor forced it down, and the accumulated degraded time.
 	cappedFrom   map[int]power.FreqLevel
 	degradedSecs float64
+
+	// startStep is the first step index Run executes: zero for a fresh
+	// run, the checkpointed step count after Restore.
+	startStep int
 
 	// Accounting.
 	servedSC, servedBA   units.Energy // delivered to servers per pool
@@ -375,18 +398,26 @@ const stepBatchSize = 600
 // Run executes the full simulation and returns its metrics.
 func (e *Engine) Run() Result {
 	cfg := e.cfg
-	e.initialStored = e.storedTotal()
 	steps := int(cfg.Duration / cfg.Step)
 	slotSteps := int(cfg.Slot / cfg.Step)
 	if slotSteps < 1 {
 		slotSteps = 1
 	}
-	// Size the metric series up front: appending one sample per tick to a
-	// growing slice would re-copy the whole history log2(steps) times.
-	e.demandSeries = make([]float64, 0, steps)
 	nSlots := steps/slotSteps + 1
-	e.slotPeaks = make([]float64, 0, nSlots)
-	e.slotValleys = make([]float64, 0, nSlots)
+	if e.startStep == 0 {
+		e.initialStored = e.storedTotal()
+		// Size the metric series up front: appending one sample per tick to
+		// a growing slice would re-copy the whole history log2(steps) times.
+		e.demandSeries = make([]float64, 0, steps)
+		e.slotPeaks = make([]float64, 0, nSlots)
+		e.slotValleys = make([]float64, 0, nSlots)
+	} else {
+		// Resuming: keep the restored prefixes (initialStored came from the
+		// checkpoint) but re-home them in full-capacity backing arrays.
+		e.demandSeries = append(make([]float64, 0, steps), e.demandSeries...)
+		e.slotPeaks = append(make([]float64, 0, nSlots), e.slotPeaks...)
+		e.slotValleys = append(make([]float64, 0, nSlots), e.slotValleys...)
+	}
 
 	if cfg.Probes != nil || cfg.Audit != nil {
 		e.buildProbeTargets()
@@ -399,7 +430,7 @@ func (e *Engine) Run() Result {
 		}
 	}
 
-	if cfg.Events != nil {
+	if cfg.Events != nil && e.startStep == 0 {
 		cfg.Events.Emit(obs.Event{
 			Kind: obs.EventRunStart, Server: -1,
 			Detail: cfg.Controller.Scheme().Name(),
@@ -407,18 +438,28 @@ func (e *Engine) Run() Result {
 	}
 	span := cfg.Spans
 	span.Begin("run", "engine")
-	e.planSlot(0)
+	if e.startStep == 0 {
+		e.planSlot(0)
+	}
 	batch := 0
 	aborted := false
-	for i := 0; i < steps; i++ {
+	stopped := false
+	for i := e.startStep; i < steps; i++ {
 		now := time.Duration(i) * cfg.Step
-		if i > 0 && i%slotSteps == 0 {
+		if i > e.startStep && i%slotSteps == 0 {
 			if batch > 0 {
 				span.End()
 				batch = 0
 			}
 			e.finishSlot()
 			e.planSlot(now)
+			if cfg.Checkpoints != nil && cfg.CheckpointEvery > 0 && (i/slotSteps)%cfg.CheckpointEvery == 0 {
+				e.emitCheckpoint(i/slotSteps, i, now)
+			}
+		}
+		if cfg.MaxSteps > 0 && i >= cfg.MaxSteps {
+			stopped = true
+			break
 		}
 		if span != nil && batch == 0 {
 			span.Begin("steps", "engine")
@@ -446,7 +487,11 @@ func (e *Engine) Run() Result {
 	if batch > 0 {
 		span.End()
 	}
-	e.finishSlot()
+	if !stopped {
+		// A MaxSteps stop is mid-slot by construction: the trailing slot
+		// stays open so a resumed or windowed continuation finishes it.
+		e.finishSlot()
+	}
 	span.End()
 	if cfg.Audit != nil {
 		for _, t := range e.probeTargets {
@@ -454,7 +499,7 @@ func (e *Engine) Run() Result {
 			cfg.Audit.EndDevice(t.name, s.EnergyInWh, s.EnergyOutWh, s.LossWh, s.StoredWh)
 		}
 	}
-	if cfg.Events != nil {
+	if cfg.Events != nil && !stopped {
 		end := cfg.Duration.Seconds()
 		if aborted {
 			end = e.now.Seconds()

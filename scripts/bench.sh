@@ -11,12 +11,27 @@
 # (nil sinks) and on (event log + decision trace): Disabled's allocs/op
 # must equal BenchmarkEngineStep's, proving the nil-sink guards keep the
 # engine hot loop allocation-free. The Probes pair does the same for the
-# deep layer (per-device probes + energy auditor + span tracer).
+# deep layer (per-device probes + energy auditor + span tracer), and the
+# Checkpoint pair for the flight recorder (state snapshots at slot
+# boundaries).
 #
-# Usage: scripts/bench.sh [sweep.json [obs.json]]
+# Usage:
+#   scripts/bench.sh [sweep.json [obs.json]]   measure and write baselines
+#   scripts/bench.sh -check                    measure and compare against
+#                                              the committed baselines
+#
+# -check tolerances: allocs/op must match the baseline exactly (the
+# allocation counts are deterministic); ns/op may regress by at most
+# 50% (wall-clock is noisy across machines, so only gross regressions
+# fail). Exits non-zero on any violation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+check=0
+if [[ "${1:-}" == "-check" ]]; then
+	check=1
+	shift
+fi
 sweep_out="${1:-BENCH_sweep.json}"
 obs_out="${2:-BENCH_obs.json}"
 raw="$(mktemp)"
@@ -44,12 +59,74 @@ to_json() {
 	'
 }
 
-go test -run '^$' -bench 'BenchmarkMultiSeedSequential|BenchmarkMultiSeedParallel|BenchmarkEngineStep$' \
-	-benchmem -count=1 . | tee "$raw"
-to_json <"$raw" >"$sweep_out"
-echo "wrote $sweep_out"
+# compare CURRENT BASELINE — fail when a benchmark present in both files
+# regressed: allocs/op differ at all, or ns/op grew beyond ns_tol×.
+ns_tol=1.5
+compare() {
+	awk -v ns_tol="$ns_tol" '
+	function parse(line, kv,   n, parts, i, p, kv2) {
+		n = split(line, parts, ",")
+		for (i = 1; i <= n; i++) {
+			p = parts[i]
+			gsub(/[{}"\]\[ \t]/, "", p)
+			split(p, kv2, ":")
+			kv[kv2[1]] = kv2[2]
+		}
+	}
+	FNR == 1 { file++ }
+	/"name"/ {
+		delete kv
+		parse($0, kv)
+		name = kv["name"]
+		if (file == 1) {
+			cur_ns[name] = kv["ns_per_op"]
+			cur_allocs[name] = kv["allocs_per_op"]
+		} else {
+			base_ns[name] = kv["ns_per_op"]
+			base_allocs[name] = kv["allocs_per_op"]
+		}
+	}
+	END {
+		bad = 0
+		for (name in base_ns) {
+			if (!(name in cur_ns)) {
+				printf "MISSING %s: in baseline but not measured\n", name
+				bad = 1
+				continue
+			}
+			if (cur_allocs[name] != base_allocs[name]) {
+				printf "REGRESSION %s: allocs/op %s, baseline %s (must match exactly)\n", name, cur_allocs[name], base_allocs[name]
+				bad = 1
+			}
+			if (base_ns[name] > 0 && cur_ns[name] > base_ns[name] * ns_tol) {
+				printf "REGRESSION %s: ns/op %s exceeds baseline %s by more than %gx\n", name, cur_ns[name], base_ns[name], ns_tol
+				bad = 1
+			}
+		}
+		exit bad
+	}
+	' "$1" "$2"
+}
 
-go test -run '^$' -bench 'BenchmarkEngineObsDisabled|BenchmarkEngineObsEnabled|BenchmarkEngineProbesDisabled|BenchmarkEngineProbesEnabled' \
-	-benchmem -count=1 . | tee "$raw"
-to_json <"$raw" >"$obs_out"
-echo "wrote $obs_out"
+run_set() {
+	local pattern="$1" out="$2"
+	go test -run '^$' -bench "$pattern" -benchmem -count=1 . | tee "$raw"
+	if [[ "$check" == 1 ]]; then
+		local cur
+		cur="$(mktemp)"
+		to_json <"$raw" >"$cur"
+		if ! compare "$cur" "$out"; then
+			rm -f "$cur"
+			echo "bench.sh: regression against $out" >&2
+			exit 1
+		fi
+		rm -f "$cur"
+		echo "ok: within tolerance of $out (allocs exact, ns/op <= ${ns_tol}x)"
+	else
+		to_json <"$raw" >"$out"
+		echo "wrote $out"
+	fi
+}
+
+run_set 'BenchmarkMultiSeedSequential|BenchmarkMultiSeedParallel|BenchmarkEngineStep$' "$sweep_out"
+run_set 'BenchmarkEngineObsDisabled|BenchmarkEngineObsEnabled|BenchmarkEngineProbesDisabled|BenchmarkEngineProbesEnabled|BenchmarkEngineCheckpointDisabled|BenchmarkEngineCheckpointEnabled' "$obs_out"

@@ -14,6 +14,13 @@
 # artifacts, trace.json passes obscheck's trace validator, hebtrace can
 # roll the trace up into per-phase self times, and the run report
 # carries the battery wear line and a clean strict-audit summary.
+#
+# Phase 3 exercises the flight recorder end to end: record a run with
+# -checkpoint-every (obscheck validates the hash chain), kill it by
+# truncating the chain and -resume (artifacts must come out
+# byte-identical to the uninterrupted run), -replay a slot window, and
+# hebbisect the run against a differently-budgeted recording (must find
+# a divergence) and against itself (must not).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -52,5 +59,39 @@ go run ./cmd/obscheck "$dir/deep"
 go run ./cmd/hebtrace "$dir/deep/trace.json" >"$dir/rollup.txt"
 grep -q "steps" "$dir/rollup.txt" ||
 	{ echo "obs smoke: hebtrace rollup lacks the steps phase" >&2; exit 1; }
+
+echo "== obs smoke: flight recorder (checkpoint / resume / replay / bisect) =="
+go run ./cmd/hebsim -exp run -scheme HEB-D -workload PR -duration 30m \
+	-obs "$dir/fr" -checkpoint-every 1 >"$dir/fr_stdout.txt"
+[[ -s "$dir/fr/checkpoints.jsonl" ]] ||
+	{ echo "obs smoke: checkpoints.jsonl missing or empty" >&2; exit 1; }
+go run ./cmd/obscheck "$dir/fr" | grep -q "chain intact" ||
+	{ echo "obs smoke: obscheck did not validate the checkpoint chain" >&2; exit 1; }
+
+# Kill-and-resume: keep only the first checkpoint (as if the run died
+# right after writing it), resume, and demand byte-identical artifacts.
+mkdir "$dir/fr_resumed"
+head -1 "$dir/fr/checkpoints.jsonl" >"$dir/fr_resumed/checkpoints.jsonl"
+go run ./cmd/hebsim -exp run -scheme HEB-D -workload PR -duration 30m \
+	-obs "$dir/fr_resumed" -checkpoint-every 1 -resume >"$dir/fr_resume_stdout.txt"
+for f in events.jsonl decisions.jsonl metrics.prom checkpoints.jsonl; do
+	cmp -s "$dir/fr/$f" "$dir/fr_resumed/$f" ||
+		{ echo "obs smoke: $f differs between full and resumed run" >&2; exit 1; }
+done
+
+go run ./cmd/hebsim -exp run -scheme HEB-D -workload PR -duration 30m \
+	-obs "$dir/fr" -replay 2-2 >"$dir/fr_replay.txt"
+grep -q "replay window: slots 2-2" "$dir/fr_replay.txt" ||
+	{ echo "obs smoke: replay window report missing" >&2; exit 1; }
+
+go run ./cmd/hebsim -exp run -scheme HEB-D -workload PR -duration 30m -budget 238 \
+	-obs "$dir/fr_b" -checkpoint-every 1 >/dev/null
+if go run ./cmd/hebbisect "$dir/fr" "$dir/fr_b" >"$dir/bisect.txt"; then
+	echo "obs smoke: hebbisect missed the budget divergence" >&2; exit 1
+fi
+grep -q "first divergence at checkpoint slot" "$dir/bisect.txt" ||
+	{ echo "obs smoke: hebbisect report lacks the divergence line" >&2; exit 1; }
+go run ./cmd/hebbisect "$dir/fr" "$dir/fr" | grep -q "no divergence" ||
+	{ echo "obs smoke: hebbisect self-compare found a divergence" >&2; exit 1; }
 
 echo "obs smoke: OK"
