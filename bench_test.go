@@ -500,6 +500,48 @@ func BenchmarkEngineCheckpointDisabled(b *testing.B) { benchEngineCheckpoint(b, 
 
 func BenchmarkEngineCheckpointEnabled(b *testing.B) { benchEngineCheckpoint(b, true) }
 
+// benchEngineManifest runs the HEB-D hour with the capture + manifest
+// layer either off (Capture nil — the default every bare run takes) or
+// on (capture attached, the run's manifest row built per iteration, no
+// file IO). Disabled must match BenchmarkEngineStep's allocs/op
+// exactly: manifests are built entirely from contributed artifacts, so
+// a run without a capture pays nothing for them.
+func benchEngineManifest(b *testing.B, enabled bool) {
+	b.Helper()
+	p := DefaultPrototype()
+	pr, err := WorkloadNamed("PR")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := pr.WithDuration(time.Hour).Trace(p); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	steps := 0
+	for i := 0; i < b.N; i++ {
+		q := p
+		if enabled {
+			q.Capture = obs.NewCapture()
+		}
+		res, err := q.Run(HEBD, pr.WithDuration(time.Hour), RunOptions{Duration: time.Hour})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if enabled {
+			if m := q.Capture.BuildManifest(); len(m.Runs) != 1 {
+				b.Fatalf("manifest holds %d runs", len(m.Runs))
+			}
+		}
+		steps += res.Steps
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "simSteps/s")
+}
+
+func BenchmarkEngineManifestDisabled(b *testing.B) { benchEngineManifest(b, false) }
+
+func BenchmarkEngineManifestEnabled(b *testing.B) { benchEngineManifest(b, true) }
+
 // benchMultiSeed measures the multi-seed sweep at a fixed worker count.
 // The seed × scheme grid is the repo's heaviest embarrassingly-parallel
 // sweep, so the Sequential/Parallel pair below is the headline

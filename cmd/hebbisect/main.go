@@ -189,9 +189,9 @@ func bisect(w *os.File, dirA, dirB, runA, runB string, tol float64, ignore map[s
 	fmt.Fprintf(w, "A: %s run %q, checkpoints at slots %d-%d\n", a.dir, a.run, a.slots[0], a.slots[len(a.slots)-1])
 	fmt.Fprintf(w, "B: %s run %q, checkpoints at slots %d-%d\n", b.dir, b.run, b.slots[0], b.slots[len(b.slots)-1])
 
-	diffAt := func(i int) []fieldDiff {
+	diffAt := func(i int) []obs.FieldDiff {
 		slot := common[i]
-		return diffStates(a.bySlot[slot].State, b.bySlot[slot].State, tol, ignore)
+		return obs.DiffJSON(a.bySlot[slot].State, b.bySlot[slot].State, tol, ignore)
 	}
 	// The simulator is deterministic: states equal at slot s stay equal at
 	// every later checkpoint, so "diverged" is monotone over the common

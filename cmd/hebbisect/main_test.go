@@ -154,7 +154,7 @@ func captureBisect(t *testing.T, dirA, dirB string, tol float64, ignore map[stri
 func TestDiffStates(t *testing.T) {
 	a := json.RawMessage(`{"x":1,"arr":[1,2,3],"only_a":true,"same":"s"}`)
 	b := json.RawMessage(`{"x":2,"arr":[1,9],"only_b":null,"same":"s"}`)
-	diffs := diffStates(a, b, 0, nil)
+	diffs := obs.DiffJSON(a, b, 0, nil)
 	want := map[string]bool{"$.x": true, "$.arr[1]": true, "$.arr.len": true, "$.only_a": true, "$.only_b": true}
 	if len(diffs) != len(want) {
 		t.Fatalf("got %d diffs %v, want %d", len(diffs), diffs, len(want))

@@ -1,0 +1,160 @@
+package main
+
+import (
+	_ "embed"
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
+
+	"heb/internal/obs"
+	"heb/internal/obs/registry"
+	"heb/internal/telemetry"
+)
+
+//go:embed dashboard.html
+var dashboardHTML []byte
+
+// monitor bundles the live-run surfaces (recorder, metrics, event
+// stream) with the cross-run registry behind one mux. reg is nil when no
+// capture root was configured; the /api endpoints then answer 503 so a
+// dashboard can tell "no registry" from "empty registry".
+type monitor struct {
+	rec     *telemetry.Recorder
+	metrics *telemetry.Metrics
+	proc    *telemetry.ProcMetrics
+	stream  *obs.EventStream
+	reg     *registry.Registry
+	ready   atomic.Bool
+}
+
+// mux composes the monitor API: the recorder endpoints at their
+// historical paths, the SSE event stream, Prometheus exposition (with
+// fresh heb_proc_* gauges per scrape), pprof, the run registry API and
+// the embedded dashboard page. Nothing registers on the default mux.
+func (m *monitor) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/", m.rec.Handler())
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write(dashboardHTML)
+	})
+	mux.HandleFunc("GET /readyz", m.handleReady)
+	mux.Handle("/events", eventsHandler(m.stream))
+	mux.Handle("/metrics", m.proc.Handler(m.metrics.Registry().Handler()))
+	mux.HandleFunc("GET /api/runs", m.handleRuns)
+	mux.HandleFunc("GET /api/runs/{id}", m.handleRun)
+	mux.HandleFunc("GET /api/runs/{id}/compare/{other}", m.handleCompare)
+	mux.HandleFunc("GET /api/captures", m.handleCaptures)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// handleReady answers 200 once the initial registry scan has landed
+// (immediately when no registry is configured), 503 before — the
+// conventional readiness gate for scripts that start hebmon and poll.
+func (m *monitor) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if m.ready.Load() {
+		writeText(w, http.StatusOK, "ready\n")
+		return
+	}
+	writeText(w, http.StatusServiceUnavailable, "initial scan pending\n")
+}
+
+// runsResponse is the /api/runs wire form.
+type runsResponse struct {
+	Count int            `json:"count"`
+	Runs  []registry.Run `json:"runs"`
+	// Errors surfaces per-manifest scan problems so a broken capture is
+	// visible, not silently missing.
+	Errors []string `json:"errors,omitempty"`
+}
+
+func (m *monitor) handleRuns(w http.ResponseWriter, r *http.Request) {
+	if m.reg == nil {
+		writeText(w, http.StatusServiceUnavailable, "no capture root configured (start hebmon with -runs)\n")
+		return
+	}
+	q := r.URL.Query()
+	runs := m.reg.Runs(registry.Filter{
+		Scheme:   q.Get("scheme"),
+		Workload: q.Get("workload"),
+		Status:   q.Get("status"),
+	})
+	if runs == nil {
+		runs = []registry.Run{}
+	}
+	writeJSON(w, runsResponse{Count: len(runs), Runs: runs, Errors: m.reg.Errors()})
+}
+
+func (m *monitor) handleRun(w http.ResponseWriter, r *http.Request) {
+	if m.reg == nil {
+		writeText(w, http.StatusServiceUnavailable, "no capture root configured (start hebmon with -runs)\n")
+		return
+	}
+	run, ok := m.reg.Find(r.PathValue("id"))
+	if !ok {
+		writeText(w, http.StatusNotFound, "unknown run\n")
+		return
+	}
+	writeJSON(w, run)
+}
+
+func (m *monitor) handleCompare(w http.ResponseWriter, r *http.Request) {
+	if m.reg == nil {
+		writeText(w, http.StatusServiceUnavailable, "no capture root configured (start hebmon with -runs)\n")
+		return
+	}
+	id, other := r.PathValue("id"), r.PathValue("other")
+	for _, want := range []string{id, other} {
+		if _, ok := m.reg.Find(want); !ok {
+			writeText(w, http.StatusNotFound, "unknown run "+want+"\n")
+			return
+		}
+	}
+	tol := 0.0
+	if q := r.URL.Query().Get("tol"); q != "" {
+		v, err := strconv.ParseFloat(q, 64)
+		if err != nil || v < 0 {
+			writeText(w, http.StatusBadRequest, "bad tol\n")
+			return
+		}
+		tol = v
+	}
+	cmp, err := m.reg.Compare(id, other, tol)
+	if err != nil {
+		writeText(w, http.StatusBadRequest, err.Error()+"\n")
+		return
+	}
+	writeJSON(w, cmp)
+}
+
+func (m *monitor) handleCaptures(w http.ResponseWriter, _ *http.Request) {
+	if m.reg == nil {
+		writeText(w, http.StatusServiceUnavailable, "no capture root configured (start hebmon with -runs)\n")
+		return
+	}
+	caps := m.reg.Captures()
+	if caps == nil {
+		caps = []registry.Capture{}
+	}
+	writeJSON(w, caps)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeText(w http.ResponseWriter, code int, body string) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(code)
+	_, _ = w.Write([]byte(body))
+}

@@ -1,0 +1,232 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"heb"
+	"heb/internal/obs"
+	"heb/internal/obs/registry"
+	"heb/internal/telemetry"
+)
+
+// captureTwoSeeds records two real HEB-D runs of the same configuration
+// except for the seed into one capture directory and returns its
+// manifest.
+func captureTwoSeeds(t *testing.T, dir string) obs.Manifest {
+	t.Helper()
+	c := obs.NewCapture()
+	c.SetLabel("test")
+	for _, seed := range []int64{1, 2} {
+		p := heb.DefaultPrototype()
+		p.Seed = seed
+		p.Capture = c
+		wl, err := heb.WorkloadNamed("PR")
+		if err != nil {
+			t.Fatal(err)
+		}
+		const d = 2 * time.Hour
+		if _, err := p.Run(heb.HEBD, wl.WithDuration(d), heb.RunOptions{Duration: d}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WriteFiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	m, err := obs.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Runs) != 2 {
+		t.Fatalf("manifest holds %d runs, want 2", len(m.Runs))
+	}
+	return m
+}
+
+// newTestMonitor serves the full mux over a scanned registry at root
+// ("" = no registry).
+func newTestMonitor(t *testing.T, root string) (*monitor, *httptest.Server) {
+	t.Helper()
+	m := &monitor{
+		rec:     telemetry.MustNewRecorder(16),
+		metrics: telemetry.NewMetrics(nil),
+		stream:  obs.NewEventStream(0),
+	}
+	m.proc = telemetry.NewProcMetrics(m.metrics.Registry())
+	if root != "" {
+		m.reg = registry.New(root)
+		if err := m.reg.Scan(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.ready.Store(true)
+	ts := httptest.NewServer(m.mux())
+	t.Cleanup(ts.Close)
+	return m, ts
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestAPIRunsListAndFilter(t *testing.T) {
+	root := t.TempDir()
+	m := captureTwoSeeds(t, root+"/sweep")
+	_, ts := newTestMonitor(t, root)
+
+	code, body := get(t, ts.URL+"/api/runs")
+	if code != http.StatusOK {
+		t.Fatalf("/api/runs = %d: %s", code, body)
+	}
+	var resp struct {
+		Count int            `json:"count"`
+		Runs  []registry.Run `json:"runs"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 2 {
+		t.Fatalf("count = %d, want 2", resp.Count)
+	}
+	for _, run := range resp.Runs {
+		if run.Status != obs.StatusComplete {
+			t.Errorf("run %s status = %q", run.ID, run.Status)
+		}
+		if run.Scheme != "HEB-D" || run.Workload != "PR" {
+			t.Errorf("run %s parsed as %s/%s", run.ID, run.Scheme, run.Workload)
+		}
+		if run.Summary.Metrics["energy_efficiency"] <= 0 {
+			t.Errorf("run %s missing energy_efficiency metric", run.ID)
+		}
+	}
+
+	code, body = get(t, ts.URL+"/api/runs?scheme=BaOnly")
+	if code != http.StatusOK {
+		t.Fatalf("filtered = %d", code)
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 0 {
+		t.Fatalf("BaOnly filter matched %d runs", resp.Count)
+	}
+
+	code, body = get(t, ts.URL+"/api/runs/"+m.Runs[0].ID)
+	if code != http.StatusOK {
+		t.Fatalf("/api/runs/{id} = %d: %s", code, body)
+	}
+	var one registry.Run
+	if err := json.Unmarshal(body, &one); err != nil {
+		t.Fatal(err)
+	}
+	if one.Key != m.Runs[0].Key {
+		t.Fatalf("run key = %q, want %q", one.Key, m.Runs[0].Key)
+	}
+
+	if code, _ := get(t, ts.URL+"/api/runs/ffffffffffff"); code != http.StatusNotFound {
+		t.Fatalf("unknown id = %d, want 404", code)
+	}
+}
+
+func TestAPICompareTwoSeeds(t *testing.T) {
+	root := t.TempDir()
+	m := captureTwoSeeds(t, root+"/sweep")
+	_, ts := newTestMonitor(t, root)
+
+	a, b := m.Runs[0].ID, m.Runs[1].ID
+	code, body := get(t, ts.URL+"/api/runs/"+a+"/compare/"+b)
+	if code != http.StatusOK {
+		t.Fatalf("compare = %d: %s", code, body)
+	}
+	var cmp registry.Comparison
+	if err := json.Unmarshal(body, &cmp); err != nil {
+		t.Fatal(err)
+	}
+	if cmp.SameConfig || cmp.Identical {
+		t.Fatalf("two seeds reported same config: %+v", cmp)
+	}
+	if len(cmp.MetricDeltas) == 0 {
+		t.Fatal("expected nonzero metric deltas between seeds")
+	}
+
+	// Self-compare: identical configuration, empty diff.
+	code, body = get(t, ts.URL+"/api/runs/"+a+"/compare/"+a)
+	if code != http.StatusOK {
+		t.Fatalf("self compare = %d: %s", code, body)
+	}
+	var self registry.Comparison
+	if err := json.Unmarshal(body, &self); err != nil {
+		t.Fatal(err)
+	}
+	if !self.Identical || len(self.MetricDeltas) != 0 || self.DecisionDiffs != 0 {
+		t.Fatalf("self compare not empty: %+v", self)
+	}
+
+	if code, _ := get(t, ts.URL+"/api/runs/"+a+"/compare/"+b+"?tol=bogus"); code != http.StatusBadRequest {
+		t.Fatal("bad tol accepted")
+	}
+	if code, _ := get(t, ts.URL+"/api/runs/"+a+"/compare/ffffffffffff"); code != http.StatusNotFound {
+		t.Fatal("unknown other accepted")
+	}
+}
+
+func TestAPIWithoutRegistry(t *testing.T) {
+	_, ts := newTestMonitor(t, "")
+	for _, path := range []string{"/api/runs", "/api/captures", "/api/runs/abc", "/api/runs/a/compare/b"} {
+		if code, _ := get(t, ts.URL+path); code != http.StatusServiceUnavailable {
+			t.Errorf("%s = %d, want 503", path, code)
+		}
+	}
+	if code, _ := get(t, ts.URL+"/readyz"); code != http.StatusOK {
+		t.Error("readyz not ok")
+	}
+}
+
+func TestReadyzGatesOnScan(t *testing.T) {
+	m := &monitor{
+		rec:     telemetry.MustNewRecorder(16),
+		metrics: telemetry.NewMetrics(nil),
+		stream:  obs.NewEventStream(0),
+	}
+	m.proc = telemetry.NewProcMetrics(m.metrics.Registry())
+	ts := httptest.NewServer(m.mux())
+	defer ts.Close()
+	if code, _ := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatal("readyz served before initial scan")
+	}
+	m.ready.Store(true)
+	if code, _ := get(t, ts.URL+"/readyz"); code != http.StatusOK {
+		t.Fatal("readyz still 503 after scan")
+	}
+}
+
+func TestDashboardAndMetrics(t *testing.T) {
+	_, ts := newTestMonitor(t, "")
+	code, body := get(t, ts.URL+"/")
+	if code != http.StatusOK || !strings.Contains(string(body), "hebmon") {
+		t.Fatalf("dashboard = %d", code)
+	}
+	code, body = get(t, ts.URL+"/metrics")
+	if code != http.StatusOK || !strings.Contains(string(body), "heb_proc_heap_alloc_bytes") {
+		t.Fatalf("/metrics missing heb_proc_* family: %d", code)
+	}
+	// The recorder API keeps its historical paths.
+	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatal("healthz broken")
+	}
+}

@@ -1,17 +1,33 @@
 // Command hebmon runs a HEB simulation while serving the prototype's
-// real-time monitoring API (Figure 11, item 5) over HTTP.
+// real-time monitoring API (Figure 11, item 5) over HTTP, plus a
+// cross-run registry over captured observability artifacts.
 //
 // The simulation is paced so that one simulated second takes
 // 1/speedup wall seconds; with the default speedup of 60 a 24-hour run
 // plays back in 24 minutes while /latest, /history and /summary serve
-// live state. /metrics exposes the engine's counters and gauges in
-// Prometheus text format and /debug/pprof/ serves the standard Go
-// profiles. SIGINT/SIGTERM shut the monitor down gracefully (in-flight
-// requests get up to 5 s to drain).
+// live state. /metrics exposes the engine's counters and gauges plus the
+// process's own heb_proc_* runtime health in Prometheus text format, and
+// /debug/pprof/ serves the standard Go profiles. GET / serves an
+// embedded dependency-free dashboard that streams the live run over SSE
+// and tables the registry.
+//
+// With -runs DIR the monitor also indexes every capture directory
+// (manifest.json written by hebsim -obs) under DIR, re-scanning every
+// -rescan interval, and serves:
+//
+//	GET /api/runs                         run index (?scheme= ?workload= ?status=)
+//	GET /api/runs/{id}                    one run's manifest row
+//	GET /api/runs/{id}/compare/{other}    metric deltas + decision diff (?tol=)
+//	GET /api/captures                     capture directories with status + bytes
+//	GET /readyz                           200 once the initial scan landed
+//
+// SIGINT/SIGTERM shut the monitor down gracefully (in-flight requests
+// get up to 5 s to drain).
 //
 // Usage:
 //
 //	hebmon -addr :8080 -scheme HEB-D -workload PR -duration 24h -speedup 60
+//	hebmon -addr :8080 -runs out/ -rescan 2s
 package main
 
 import (
@@ -19,16 +35,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"heb"
+	"heb/internal/logging"
 	"heb/internal/obs"
+	"heb/internal/obs/registry"
 	"heb/internal/sim"
 	"heb/internal/telemetry"
 )
@@ -45,16 +62,23 @@ func main() {
 		speedup  = flag.Float64("speedup", 60, "simulated seconds per wall second (0 = unpaced)")
 		history  = flag.Int("history", 3600, "snapshots kept for /history")
 		exit     = flag.Bool("exit", false, "exit when the run completes instead of keeping the monitor up")
+		runsDir  = flag.String("runs", "", "capture root to index for /api/runs (directories holding manifest.json)")
+		rescan   = flag.Duration("rescan", 2*time.Second, "registry re-scan interval for -runs")
+		logMode  = flag.String("log", logging.ModeText, "structured log format on stderr: text (deterministic) or json")
 	)
 	flag.Parse()
-
-	if err := run(*addr, *scheme, *wl, *duration, *speedup, *history, *exit); err != nil {
+	if err := logging.Setup(os.Stderr, *logMode, logging.Options{}); err != nil {
 		fmt.Fprintln(os.Stderr, "hebmon:", err)
+		os.Exit(2)
+	}
+
+	if err := run(*addr, *scheme, *wl, *duration, *speedup, *history, *exit, *runsDir, *rescan); err != nil {
+		slog.Error("monitor failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, scheme, wl string, duration time.Duration, speedup float64, history int, exitWhenDone bool) error {
+func run(addr, scheme, wl string, duration time.Duration, speedup float64, history int, exitWhenDone bool, runsDir string, rescan time.Duration) error {
 	id, err := schemeByName(scheme)
 	if err != nil {
 		return err
@@ -64,30 +88,51 @@ func run(addr, scheme, wl string, duration time.Duration, speedup float64, histo
 		return err
 	}
 
-	rec := telemetry.MustNewRecorder(history)
-	metrics := telemetry.NewMetrics(nil)
-	stream := obs.NewEventStream(0)
-	srv := &http.Server{
-		Addr:              addr,
-		Handler:           newMux(rec, metrics, stream),
-		ReadHeaderTimeout: 5 * time.Second,
+	m := &monitor{
+		rec:     telemetry.MustNewRecorder(history),
+		metrics: telemetry.NewMetrics(nil),
+		stream:  obs.NewEventStream(0),
 	}
+	m.proc = telemetry.NewProcMetrics(m.metrics.Registry())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if runsDir != "" {
+		m.reg = registry.New(runsDir)
+		go func() {
+			if err := m.reg.Scan(); err != nil {
+				slog.Warn("initial registry scan failed", "root", runsDir, "err", err)
+			} else {
+				slog.Info("registry scanned", "root", runsDir,
+					"captures", len(m.reg.Captures()), "runs", len(m.reg.Runs(registry.Filter{})))
+			}
+			m.ready.Store(true)
+			m.reg.Watch(ctx, rescan)
+		}()
+	} else {
+		m.ready.Store(true)
+	}
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           m.mux(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
 	serveErr := make(chan error, 1)
 	go func() {
-		log.Printf("monitor listening on %s (endpoints: /healthz /latest /history /summary /curves /events /metrics /debug/pprof/)", addr)
+		slog.Info("monitor listening", "addr", addr,
+			"endpoints", "/ /healthz /readyz /latest /history /summary /curves /events /metrics /api/runs /api/captures /debug/pprof/")
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			serveErr <- err
 		}
 	}()
 
-	recObserve := rec.Observer()
+	recObserve := m.rec.Observer()
 	observer := func(s sim.StepInfo) {
 		recObserve(s)
-		metrics.Observe(s)
+		m.metrics.Observe(s)
 	}
 	if speedup > 0 {
 		pace := time.Duration(float64(time.Second) / speedup)
@@ -101,14 +146,14 @@ func run(addr, scheme, wl string, duration time.Duration, speedup float64, histo
 	runDone := make(chan error, 1)
 	go func() {
 		p := heb.DefaultPrototype()
-		log.Printf("running %s on %s for %v (speedup %gx)", scheme, wl, duration, speedup)
+		slog.Info("running", "scheme", scheme, "workload", wl, "duration", duration, "speedup", speedup)
 		res, err := p.Run(id, w.WithDuration(duration), heb.RunOptions{
 			Duration: duration,
 			Observer: observer,
-			Events:   stream,
+			Events:   m.stream,
 		})
 		if err == nil {
-			log.Printf("run complete: %s", res)
+			slog.Info("run complete", "result", res.String())
 		}
 		runDone <- err
 	}()
@@ -119,13 +164,13 @@ func run(addr, scheme, wl string, duration time.Duration, speedup float64, histo
 	case err := <-serveErr:
 		return err
 	case <-ctx.Done():
-		log.Printf("signal received; shutting down")
+		slog.Info("signal received; shutting down")
 	case runErr = <-runDone:
 		if runErr == nil && !exitWhenDone {
-			log.Printf("monitor stays up for inspection; Ctrl-C to quit")
+			slog.Info("monitor stays up for inspection; Ctrl-C to quit")
 			select {
 			case <-ctx.Done():
-				log.Printf("signal received; shutting down")
+				slog.Info("signal received; shutting down")
 			case err := <-serveErr:
 				return err
 			}
@@ -137,24 +182,8 @@ func run(addr, scheme, wl string, duration time.Duration, speedup float64, histo
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
-	log.Printf("monitor stopped")
+	slog.Info("monitor stopped")
 	return runErr
-}
-
-// newMux composes the monitor API, the live event stream, the Prometheus
-// exposition and the standard pprof profiling endpoints on one private
-// mux (nothing is registered on http.DefaultServeMux).
-func newMux(rec *telemetry.Recorder, metrics *telemetry.Metrics, stream *obs.EventStream) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.Handle("/", rec.Handler())
-	mux.Handle("/events", eventsHandler(stream))
-	mux.Handle("/metrics", metrics.Registry().Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
 }
 
 func schemeByName(name string) (heb.SchemeID, error) {

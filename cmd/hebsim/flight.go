@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -177,7 +178,7 @@ func newCheckpointAppender(path string, resume bool, groupRun string) (func(obs.
 			r.Run = groupRun
 		}
 		if err := enc.Encode(r); err != nil {
-			fmt.Fprintf(os.Stderr, "hebsim: write checkpoint: %v\n", err)
+			slog.Warn("write checkpoint failed", "err", err)
 		}
 	}, nil
 }

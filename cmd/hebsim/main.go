@@ -15,16 +15,21 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
+	"net/http"
 	"os"
+	"runtime"
 	"time"
 
 	"heb"
 	"heb/internal/ascii"
+	"heb/internal/logging"
 	"heb/internal/obs"
 	"heb/internal/pat"
 	"heb/internal/runner"
 	"heb/internal/sim"
 	"heb/internal/solar"
+	"heb/internal/telemetry"
 	"heb/internal/trace"
 	"heb/internal/units"
 )
@@ -51,8 +56,14 @@ func main() {
 		ckptEvry = flag.Int("checkpoint-every", 0, "flight recorder: checkpoint the full run state every N control slots into <obs>/checkpoints.jsonl (-exp run; requires -obs)")
 		resume   = flag.Bool("resume", false, "flight recorder: resume an interrupted -exp run from the last checkpoint in <obs>/checkpoints.jsonl")
 		replay   = flag.String("replay", "", "flight recorder: replay the slot window \"[run:]A-B\" from the nearest checkpoint in <obs>/checkpoints.jsonl, printing its events and decisions (-exp run)")
+		logMode  = flag.String("log", logging.ModeText, "structured log format on stderr: text (deterministic) or json")
+		telAddr  = flag.String("telemetry", "", "serve live heb_runner_*/heb_proc_* self-telemetry at this address while the sweep runs (e.g. :9100)")
 	)
 	flag.Parse()
+	if err := logging.Setup(os.Stderr, *logMode, logging.Options{}); err != nil {
+		fmt.Fprintln(os.Stderr, "hebsim:", err)
+		os.Exit(2)
+	}
 
 	p := heb.DefaultPrototype()
 	p.Seed = *seed
@@ -68,7 +79,7 @@ func main() {
 	p.ProbeRing = *probeCap
 	mode, err := obs.ParseAuditMode(*audit)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hebsim:", err)
+		slog.Error("bad -audit flag", "err", err)
 		os.Exit(2)
 	}
 	p.Audit = mode
@@ -85,7 +96,7 @@ func main() {
 		case "wall":
 			tracer = obs.NewWallTracer()
 		default:
-			fmt.Fprintf(os.Stderr, "hebsim: unknown trace clock %q (want virtual or wall)\n", *traceClk)
+			slog.Error("unknown trace clock (want virtual or wall)", "clock", *traceClk)
 			os.Exit(2)
 		}
 		p.Tracer = tracer
@@ -96,13 +107,13 @@ func main() {
 	if fl.enabled() {
 		switch {
 		case *exp != "run":
-			fmt.Fprintln(os.Stderr, "hebsim: -checkpoint-every, -resume and -replay require -exp run")
+			slog.Error("-checkpoint-every, -resume and -replay require -exp run")
 			os.Exit(2)
 		case *obsDir == "":
-			fmt.Fprintln(os.Stderr, "hebsim: -checkpoint-every, -resume and -replay require -obs (the directory holding checkpoints.jsonl)")
+			slog.Error("-checkpoint-every, -resume and -replay require -obs (the directory holding checkpoints.jsonl)")
 			os.Exit(2)
 		case *resume && *replay != "":
-			fmt.Fprintln(os.Stderr, "hebsim: -resume and -replay are mutually exclusive")
+			slog.Error("-resume and -replay are mutually exclusive")
 			os.Exit(2)
 		}
 		p.CheckpointEvery = *ckptEvry
@@ -114,6 +125,35 @@ func main() {
 		p.Capture = nil
 		p.CheckpointEvery = 0
 	}
+	if capture != nil {
+		// Manifest lifecycle: mark the capture directory as running before
+		// any simulation starts. A process that dies here leaves a
+		// detectable "running" manifest; the resume path below turns that
+		// into "killed" before taking over, and WriteFiles lands "complete".
+		capture.SetLabel(*exp)
+		if *resume {
+			if m, merr := obs.ReadManifest(*obsDir); merr == nil && m.Status == obs.StatusRunning {
+				if serr := obs.SetManifestStatus(*obsDir, obs.StatusKilled); serr != nil {
+					slog.Error("marking stale capture killed", "dir", *obsDir, "err", serr)
+					os.Exit(1)
+				}
+				slog.Warn("previous capture writer died mid-run; marked killed", "dir", *obsDir)
+			}
+		}
+		if serr := obs.StartManifest(*obsDir, *exp); serr != nil {
+			slog.Error("starting capture manifest", "dir", *obsDir, "err", serr)
+			os.Exit(1)
+		}
+	}
+	if *telAddr != "" {
+		nw := *workers
+		if nw <= 0 {
+			nw = runtime.GOMAXPROCS(0)
+		}
+		prog := &runner.Progress{}
+		p.Progress = prog
+		go serveTelemetry(*telAddr, prog, nw)
+	}
 
 	if *exp == "run" {
 		err = runOnce(os.Stdout, p, *duration, *scheme, *wlName, *wlCSV, *patIn, *patOut, fl)
@@ -123,25 +163,54 @@ func main() {
 	if audits != nil {
 		reports := audits.Reports()
 		failed := audits.Failed()
-		fmt.Fprintf(os.Stderr, "hebsim: audited %d runs, %d failed\n", len(reports), len(failed))
+		slog.Info("audits done", "runs", len(reports), "failed", len(failed))
 		for _, r := range failed {
-			fmt.Fprintf(os.Stderr, "hebsim: %s: %s\n", r.Run, r.Summary())
+			slog.Warn("audit failed", "run", r.Run, "summary", r.Summary())
 		}
 	}
 	if err == nil && capture != nil {
 		if err = capture.WriteFiles(*obsDir); err == nil {
-			fmt.Fprintf(os.Stderr, "hebsim: wrote observability artifacts for %d runs to %s\n",
-				len(capture.Runs()), *obsDir)
+			slog.Info("wrote observability artifacts", "runs", len(capture.Runs()), "dir", *obsDir)
 		}
 	}
 	if err == nil && tracer != nil {
 		if err = writeTrace(*traceOut, tracer); err == nil {
-			fmt.Fprintf(os.Stderr, "hebsim: wrote span profile to %s\n", *traceOut)
+			slog.Info("wrote span profile", "file", *traceOut)
 		}
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hebsim:", err)
+		if capture != nil {
+			// Leave a "failed" manifest behind so the registry shows what
+			// happened; best effort — the run error stays primary.
+			if serr := obs.SetManifestStatus(*obsDir, obs.StatusFailed); serr != nil {
+				slog.Warn("marking capture failed", "dir", *obsDir, "err", serr)
+			}
+		}
+		slog.Error("run failed", "err", err)
 		os.Exit(1)
+	}
+}
+
+// serveTelemetry exposes the process's live self-telemetry — the
+// heb_runner_* pool family fed by prog and the heb_proc_* runtime family
+// — at addr/metrics for the duration of the sweep. Serving is strictly
+// observational: scrapes never touch simulation state, so experiment
+// output is unchanged.
+func serveTelemetry(addr string, prog *runner.Progress, workers int) {
+	reg := obs.NewRegistry()
+	rm := telemetry.NewRunnerMetrics(reg, prog, workers)
+	pm := telemetry.NewProcMetrics(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/metrics", pm.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rm.Sample()
+		reg.Handler().ServeHTTP(w, r)
+	})))
+	slog.Info("telemetry listening", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		slog.Warn("telemetry server stopped", "err", err)
 	}
 }
 
@@ -234,8 +303,11 @@ func runAll(w io.Writer, p heb.Prototype, duration time.Duration, load units.Pow
 	// simulation run feeds its step count through Prototype.Progress, so
 	// the report shows queue depth, utilization and aggregate steps/s
 	// without perturbing the (deterministic) experiment output on stdout.
-	var prog runner.Progress
-	p.Progress = &prog
+	prog := p.Progress
+	if prog == nil {
+		prog = &runner.Progress{}
+		p.Progress = prog
+	}
 	nworkers := runner.Workers(workers, len(suite))
 	stop := make(chan struct{})
 	reporterDone := make(chan struct{})
@@ -255,7 +327,7 @@ func runAll(w io.Writer, p heb.Prototype, duration time.Duration, load units.Pow
 	// Each cell gets its own tracer track (cell span) and files its runs'
 	// span tracks under its experiment name; with the default virtual
 	// clock the exported trace stays byte-identical for any worker count.
-	bufs, err := runner.MapTraced(context.Background(), len(suite), workers, &prog, p.Tracer, "suite", suite,
+	bufs, err := runner.MapTraced(context.Background(), len(suite), workers, prog, p.Tracer, "suite", suite,
 		func(_ context.Context, i int, _ *obs.Track) (*bytes.Buffer, error) {
 			var buf bytes.Buffer
 			q := p

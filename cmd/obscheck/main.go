@@ -5,16 +5,23 @@
 // events, every audit report must have passed, a checkpoints.jsonl must
 // carry an intact hash chain with monotone slot indices, and a
 // trace.json beside the capture must satisfy the trace-event format
-// rules. It prints a
-// one-line inventory and exits non-zero on any violation; verify.sh's
-// smoke tier drives it.
+// rules. When the capture carries a manifest.json, the manifest must be
+// complete and honest: lifecycle status "complete", every inventoried
+// file present with matching size and SHA-256, every on-disk artifact
+// inventoried, and every run row consistent with the artifacts (event /
+// decision / probe / checkpoint counts, checkpoint-chain head, and the
+// run's serialized byte share). It prints a one-line inventory and exits
+// non-zero on any violation; verify.sh's smoke tier drives it.
 //
 // Usage:
 //
-//	obscheck [-allow-drops] dir/
+//	obscheck [-allow-drops] [-per-run] dir/
 package main
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
@@ -27,106 +34,118 @@ import (
 
 func main() {
 	allowDrops := flag.Bool("allow-drops", false, "tolerate a capture whose per-run event cap dropped events")
+	perRun := flag.Bool("per-run", false, "print each manifest run's id, key and artifact byte share")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: obscheck [-allow-drops] dir/")
+		fmt.Fprintln(os.Stderr, "usage: obscheck [-allow-drops] [-per-run] dir/")
 		os.Exit(2)
 	}
-	inv, err := check(flag.Arg(0), *allowDrops)
+	inv, runs, err := check(flag.Arg(0), *allowDrops)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "obscheck:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("obscheck: %s\n", inv)
+	if *perRun {
+		for _, rm := range runs {
+			fmt.Printf("obscheck: run %s %-8s %-4s seed=%-3d %8d bytes  %s\n",
+				rm.ID, rm.Scheme, rm.Workload, rm.Seed, rm.Bytes, rm.Key)
+		}
+	}
 }
 
-// check validates every artifact in dir and returns a one-line inventory.
-func check(dir string, allowDrops bool) (string, error) {
+// check validates every artifact in dir and returns a one-line inventory
+// plus the manifest's run rows (nil when the capture predates manifests).
+func check(dir string, allowDrops bool) (string, []obs.RunManifest, error) {
 	ef, err := os.Open(filepath.Join(dir, "events.jsonl"))
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	defer ef.Close()
 	evs, err := obs.ReadEvents(ef)
 	if err != nil {
-		return "", fmt.Errorf("events.jsonl: %w", err)
+		return "", nil, fmt.Errorf("events.jsonl: %w", err)
 	}
 	if len(evs) == 0 {
-		return "", fmt.Errorf("events.jsonl holds no events")
+		return "", nil, fmt.Errorf("events.jsonl holds no events")
 	}
 
 	df, err := os.Open(filepath.Join(dir, "decisions.jsonl"))
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	defer df.Close()
 	recs, err := obs.ReadDecisions(df)
 	if err != nil {
-		return "", fmt.Errorf("decisions.jsonl: %w", err)
+		return "", nil, fmt.Errorf("decisions.jsonl: %w", err)
 	}
 	if len(recs) == 0 {
-		return "", fmt.Errorf("decisions.jsonl holds no records")
+		return "", nil, fmt.Errorf("decisions.jsonl holds no records")
 	}
 
 	prom, err := os.ReadFile(filepath.Join(dir, "metrics.prom"))
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	for _, want := range []string{"heb_engine_steps_total", "heb_control_slots_total"} {
 		if !strings.Contains(string(prom), want) {
-			return "", fmt.Errorf("metrics.prom missing %s", want)
+			return "", nil, fmt.Errorf("metrics.prom missing %s", want)
 		}
 	}
 	dropped, err := counterValue(string(prom), "heb_obs_events_dropped_total")
 	if err != nil {
-		return "", fmt.Errorf("metrics.prom: %w", err)
+		return "", nil, fmt.Errorf("metrics.prom: %w", err)
 	}
 	if dropped > 0 && !allowDrops {
-		return "", fmt.Errorf("capture dropped %g events (per-run cap hit; raise the cap or pass -allow-drops)", dropped)
+		return "", nil, fmt.Errorf("capture dropped %g events (per-run cap hit; raise the cap or pass -allow-drops)", dropped)
 	}
 
 	inv := fmt.Sprintf("%d events, %d decision records, %d bytes of metrics", len(evs), len(recs), len(prom))
 
-	// Probe, audit and trace artifacts are optional; validate whichever
-	// are present.
+	// Probe, audit, checkpoint and trace artifacts are optional; validate
+	// whichever are present and keep the parsed records for the manifest
+	// cross-check below.
+	var samples []obs.ProbeSample
+	var reports []obs.AuditReport
+	var records []obs.CheckpointRecord
 	if pf, err := os.Open(filepath.Join(dir, "probes.jsonl")); err == nil {
-		samples, rerr := obs.ReadProbes(pf)
+		samples, err = obs.ReadProbes(pf)
 		pf.Close()
-		if rerr != nil {
-			return "", fmt.Errorf("probes.jsonl: %w", rerr)
+		if err != nil {
+			return "", nil, fmt.Errorf("probes.jsonl: %w", err)
 		}
 		if len(samples) == 0 {
-			return "", fmt.Errorf("probes.jsonl holds no samples")
+			return "", nil, fmt.Errorf("probes.jsonl holds no samples")
 		}
 		inv += fmt.Sprintf(", %d probe samples", len(samples))
 	}
 	if af, err := os.Open(filepath.Join(dir, "audits.jsonl")); err == nil {
-		reports, rerr := obs.ReadAudits(af)
+		reports, err = obs.ReadAudits(af)
 		af.Close()
-		if rerr != nil {
-			return "", fmt.Errorf("audits.jsonl: %w", rerr)
+		if err != nil {
+			return "", nil, fmt.Errorf("audits.jsonl: %w", err)
 		}
 		if len(reports) == 0 {
-			return "", fmt.Errorf("audits.jsonl holds no reports")
+			return "", nil, fmt.Errorf("audits.jsonl holds no reports")
 		}
 		for _, r := range reports {
 			if !r.Passed {
-				return "", fmt.Errorf("audits.jsonl: %s: %s", r.Run, r.Summary())
+				return "", nil, fmt.Errorf("audits.jsonl: %s: %s", r.Run, r.Summary())
 			}
 		}
 		inv += fmt.Sprintf(", %d audit reports (all passed)", len(reports))
 	}
 	if cf, err := os.Open(filepath.Join(dir, "checkpoints.jsonl")); err == nil {
-		records, rerr := obs.ReadCheckpoints(cf)
+		records, err = obs.ReadCheckpoints(cf)
 		cf.Close()
-		if rerr != nil {
-			return "", fmt.Errorf("checkpoints.jsonl: %w", rerr)
+		if err != nil {
+			return "", nil, fmt.Errorf("checkpoints.jsonl: %w", err)
 		}
 		if len(records) == 0 {
-			return "", fmt.Errorf("checkpoints.jsonl holds no records")
+			return "", nil, fmt.Errorf("checkpoints.jsonl holds no records")
 		}
 		if verr := obs.ValidateCheckpoints(records); verr != nil {
-			return "", fmt.Errorf("checkpoints.jsonl: %w", verr)
+			return "", nil, fmt.Errorf("checkpoints.jsonl: %w", verr)
 		}
 		inv += fmt.Sprintf(", %d checkpoints (chain intact)", len(records))
 	}
@@ -134,14 +153,156 @@ func check(dir string, allowDrops bool) (string, error) {
 		events, rerr := obs.ReadChromeTrace(tf)
 		tf.Close()
 		if rerr != nil {
-			return "", fmt.Errorf("trace.json: %w", rerr)
+			return "", nil, fmt.Errorf("trace.json: %w", rerr)
 		}
 		if verr := obs.ValidateTrace(events); verr != nil {
-			return "", fmt.Errorf("trace.json: %w", verr)
+			return "", nil, fmt.Errorf("trace.json: %w", verr)
 		}
 		inv += fmt.Sprintf(", %d trace events", len(events))
 	}
-	return inv, nil
+
+	mline, runs, err := checkManifest(dir, evs, recs, samples, reports, records)
+	if err != nil {
+		return "", nil, fmt.Errorf("manifest.json: %w", err)
+	}
+	return inv + ", " + mline, runs, nil
+}
+
+// checkManifest validates the capture's manifest against the parsed
+// on-disk artifacts: lifecycle status, artifact inventory (presence,
+// size, SHA-256, completeness) and per-run consistency (record counts,
+// checkpoint-chain head, serialized byte share).
+func checkManifest(dir string, evs []obs.Event, recs []obs.DecisionRecord,
+	samples []obs.ProbeSample, reports []obs.AuditReport, records []obs.CheckpointRecord) (string, []obs.RunManifest, error) {
+	m, err := obs.ReadManifest(dir)
+	if os.IsNotExist(err) {
+		return "no manifest (pre-manifest capture)", nil, nil
+	}
+	if err != nil {
+		return "", nil, err
+	}
+	if m.Status != obs.StatusComplete {
+		return "", nil, fmt.Errorf("capture status %q — the writer died or failed before finishing", m.Status)
+	}
+	if len(m.Runs) == 0 {
+		return "", nil, fmt.Errorf("status complete but no runs indexed")
+	}
+
+	inventoried := make(map[string]bool, len(m.Artifacts))
+	var totalBytes int64
+	for _, a := range m.Artifacts {
+		raw, rerr := os.ReadFile(filepath.Join(dir, a.Name))
+		if rerr != nil {
+			return "", nil, fmt.Errorf("inventoried %s unreadable: %w", a.Name, rerr)
+		}
+		if int64(len(raw)) != a.Bytes {
+			return "", nil, fmt.Errorf("%s is %d bytes, manifest says %d", a.Name, len(raw), a.Bytes)
+		}
+		sum := sha256.Sum256(raw)
+		if got := hex.EncodeToString(sum[:]); got != a.SHA256 {
+			return "", nil, fmt.Errorf("%s content hash %s, manifest says %s", a.Name, got[:12], a.SHA256[:12])
+		}
+		inventoried[a.Name] = true
+		totalBytes += a.Bytes
+	}
+	for _, name := range obs.ArtifactNames {
+		if _, serr := os.Stat(filepath.Join(dir, name)); serr == nil && !inventoried[name] {
+			return "", nil, fmt.Errorf("%s exists on disk but is missing from the inventory", name)
+		}
+	}
+
+	// Artifact records carry the run *key*, and a full sweep may run the
+	// same configuration in more than one experiment — so consistency is
+	// checked per key, summing the rows that share one. Single-row keys
+	// (the overwhelming majority) additionally pin the chain head.
+	type keyTotals struct {
+		rows, events, decisions, probes, checkpoints int
+		bytes                                        int64
+		head                                         string
+	}
+	byKey := make(map[string]*keyTotals, len(m.Runs))
+	for _, rm := range m.Runs {
+		if rm.Status != obs.StatusComplete {
+			return "", nil, fmt.Errorf("run %s status %q in a complete capture", rm.ID, rm.Status)
+		}
+		kt := byKey[rm.Key]
+		if kt == nil {
+			kt = &keyTotals{}
+			byKey[rm.Key] = kt
+		}
+		kt.rows++
+		kt.events += rm.Summary.Events
+		kt.decisions += rm.Summary.Decisions
+		kt.probes += rm.Summary.Probes
+		kt.checkpoints += rm.Checkpoints
+		kt.bytes += rm.Bytes
+		kt.head = rm.CheckpointHead
+	}
+	for key, kt := range byKey {
+		var runEvs []obs.Event
+		for _, e := range evs {
+			if e.Run == key {
+				runEvs = append(runEvs, e)
+			}
+		}
+		var runRecs []obs.DecisionRecord
+		for _, r := range recs {
+			if r.Run == key {
+				runRecs = append(runRecs, r)
+			}
+		}
+		var runProbes []obs.ProbeSample
+		for _, s := range samples {
+			if s.Run == key {
+				runProbes = append(runProbes, s)
+			}
+		}
+		var runAudits []obs.AuditReport
+		for _, r := range reports {
+			if r.Run == key {
+				runAudits = append(runAudits, r)
+			}
+		}
+		var runCkpts []obs.CheckpointRecord
+		for _, r := range records {
+			if r.Run == key {
+				runCkpts = append(runCkpts, r)
+			}
+		}
+		if len(runEvs) != kt.events {
+			return "", nil, fmt.Errorf("run %s: %d events on disk, manifest says %d", key, len(runEvs), kt.events)
+		}
+		if len(runRecs) != kt.decisions {
+			return "", nil, fmt.Errorf("run %s: %d decisions on disk, manifest says %d", key, len(runRecs), kt.decisions)
+		}
+		if len(runProbes) != kt.probes {
+			return "", nil, fmt.Errorf("run %s: %d probes on disk, manifest says %d", key, len(runProbes), kt.probes)
+		}
+		if len(runCkpts) != kt.checkpoints {
+			return "", nil, fmt.Errorf("run %s: %d checkpoints on disk, manifest says %d", key, len(runCkpts), kt.checkpoints)
+		}
+		if n := len(runCkpts); n > 0 && kt.rows == 1 && runCkpts[n-1].Hash != kt.head {
+			return "", nil, fmt.Errorf("run %s: checkpoint chain head %s, manifest says %s",
+				key, runCkpts[n-1].Hash, kt.head)
+		}
+		if got := runBytes(runEvs, runRecs, runProbes, runAudits, runCkpts); got != kt.bytes {
+			return "", nil, fmt.Errorf("run %s: artifacts serialize to %d bytes, manifest says %d", key, got, kt.bytes)
+		}
+	}
+	return fmt.Sprintf("manifest v%d complete (%d runs, %d bytes inventoried)", m.V, len(m.Runs), totalBytes), m.Runs, nil
+}
+
+// runBytes recomputes a run's JSONL byte share the same way the capture
+// accounted it.
+func runBytes(evs []obs.Event, recs []obs.DecisionRecord, samples []obs.ProbeSample,
+	reports []obs.AuditReport, records []obs.CheckpointRecord) int64 {
+	var buf bytes.Buffer
+	_ = obs.WriteEventsJSONL(&buf, evs)
+	_ = obs.WriteDecisionsJSONL(&buf, recs)
+	_ = obs.WriteProbesJSONL(&buf, samples)
+	_ = obs.WriteCheckpointsJSONL(&buf, records)
+	_ = obs.WriteAuditsJSONL(&buf, reports)
+	return int64(buf.Len())
 }
 
 // counterValue extracts an unlabeled counter's value from a Prometheus

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"heb"
+	"heb/internal/obs"
+)
+
+// writeCapture records one real HEB-D run (probes + audit on) into dir.
+func writeCapture(t *testing.T, dir string) {
+	t.Helper()
+	p := heb.DefaultPrototype()
+	p.Capture = obs.NewCapture()
+	p.Capture.SetLabel("obscheck-test")
+	p.ProbeEvery = 300
+	p.Audit = obs.AuditModeReport
+	wl, err := heb.WorkloadNamed("PR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const d = 2 * time.Hour
+	if _, err := p.Run(heb.HEBD, wl.WithDuration(d), heb.RunOptions{Duration: d}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Capture.WriteFiles(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckAcceptsCompleteCapture(t *testing.T) {
+	dir := t.TempDir()
+	writeCapture(t, dir)
+	inv, runs, err := check(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(inv, "manifest v1 complete (1 runs") {
+		t.Errorf("inventory missing manifest summary: %q", inv)
+	}
+	if len(runs) != 1 || runs[0].Bytes <= 0 {
+		t.Fatalf("run rows = %+v, want one with positive bytes", runs)
+	}
+}
+
+func TestCheckAcceptsPreManifestCapture(t *testing.T) {
+	dir := t.TempDir()
+	writeCapture(t, dir)
+	if err := os.Remove(filepath.Join(dir, obs.ManifestName)); err != nil {
+		t.Fatal(err)
+	}
+	inv, runs, err := check(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(inv, "no manifest") || runs != nil {
+		t.Errorf("pre-manifest capture mishandled: %q, %v", inv, runs)
+	}
+}
+
+func TestCheckRejectsIncompleteStatus(t *testing.T) {
+	dir := t.TempDir()
+	writeCapture(t, dir)
+	if err := obs.SetManifestStatus(dir, obs.StatusKilled); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := check(dir, false)
+	if err == nil || !strings.Contains(err.Error(), `status "killed"`) {
+		t.Fatalf("killed capture accepted: %v", err)
+	}
+}
+
+func TestCheckRejectsTamperedArtifact(t *testing.T) {
+	dir := t.TempDir()
+	writeCapture(t, dir)
+	path := filepath.Join(dir, "metrics.prom")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(raw, "# tampered\n"...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = check(dir, false)
+	if err == nil || !strings.Contains(err.Error(), "manifest says") {
+		t.Fatalf("tampered artifact accepted: %v", err)
+	}
+}
+
+func TestCheckRejectsUninventoriedArtifact(t *testing.T) {
+	dir := t.TempDir()
+	writeCapture(t, dir)
+	m, err := obs.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := m.Artifacts[:0]
+	for _, a := range m.Artifacts {
+		if a.Name != "probes.jsonl" {
+			kept = append(kept, a)
+		}
+	}
+	m.Artifacts = kept
+	if err := obs.WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = check(dir, false)
+	if err == nil || !strings.Contains(err.Error(), "missing from the inventory") {
+		t.Fatalf("uninventoried artifact accepted: %v", err)
+	}
+}
+
+func TestCheckRejectsWrongRunCounts(t *testing.T) {
+	dir := t.TempDir()
+	writeCapture(t, dir)
+	m, err := obs.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Runs[0].Summary.Decisions++
+	if err := obs.WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	// Rewriting the manifest does not change the artifacts, so refresh the
+	// inventory is not needed — manifest.json is never self-inventoried.
+	_, _, err = check(dir, false)
+	if err == nil || !strings.Contains(err.Error(), "decisions on disk") {
+		t.Fatalf("wrong decision count accepted: %v", err)
+	}
+}

@@ -696,6 +696,14 @@ func (p Prototype) Run(id SchemeID, workload Workload, opts RunOptions) (sim.Res
 			MismatchSteps: int64(res.MismatchSteps),
 			Slots:         int64(res.SlotCount),
 			RelaySwitches: map[string]int64{},
+			Metrics: map[string]float64{
+				"energy_efficiency":       res.EnergyEfficiency,
+				"downtime_server_seconds": res.DowntimeServerSeconds,
+				"downtime_fraction":       res.DowntimeFraction,
+				"battery_lifetime_years":  res.BatteryLifetimeYears,
+				"utility_peak_w":          float64(res.UtilityPeak),
+				"reu":                     res.REU,
+			},
 		}
 		if probes != nil {
 			artifact.Probes = probes.Samples()

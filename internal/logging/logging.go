@@ -1,0 +1,60 @@
+// Package logging configures the process-wide structured logger
+// (log/slog) for the heb commands. The default handler is deterministic
+// text: key=value pairs with the time attribute dropped, so two
+// identical runs emit byte-identical logs and scripts can diff them.
+// JSON output (one object per line, same determinism) is an opt-in for
+// log shippers.
+package logging
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// Modes accepted by Setup.
+const (
+	ModeText = "text"
+	ModeJSON = "json"
+)
+
+// Options tunes Setup.
+type Options struct {
+	// Level is the minimum level emitted (default slog.LevelInfo).
+	Level slog.Leveler
+	// WithTime keeps the time attribute; by default it is dropped so
+	// log output is reproducible run to run.
+	WithTime bool
+}
+
+// New builds a handler writing to w in the given mode.
+func New(w io.Writer, mode string, opts Options) (slog.Handler, error) {
+	ho := &slog.HandlerOptions{Level: opts.Level}
+	if !opts.WithTime {
+		ho.ReplaceAttr = func(groups []string, a slog.Attr) slog.Attr {
+			if a.Key == slog.TimeKey && len(groups) == 0 {
+				return slog.Attr{}
+			}
+			return a
+		}
+	}
+	switch mode {
+	case ModeText, "":
+		return slog.NewTextHandler(w, ho), nil
+	case ModeJSON:
+		return slog.NewJSONHandler(w, ho), nil
+	default:
+		return nil, fmt.Errorf("logging: unknown mode %q (want %s or %s)", mode, ModeText, ModeJSON)
+	}
+}
+
+// Setup installs the handler as the slog default. Commands call it once
+// right after flag parsing; mode comes from the -log flag.
+func Setup(w io.Writer, mode string, opts Options) error {
+	h, err := New(w, mode, opts)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(slog.New(h))
+	return nil
+}

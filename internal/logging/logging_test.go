@@ -1,0 +1,69 @@
+package logging
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestTextDeterministic(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		h, err := New(&buf, ModeText, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := slog.New(h)
+		l.Info("sweep done", "runs", 305, "dir", "out")
+		l.Warn("cell failed", "cell", "fig12a")
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("text logs not deterministic:\n%q\n%q", a, b)
+	}
+	if strings.Contains(a, "time=") {
+		t.Fatalf("time attribute not dropped: %q", a)
+	}
+	if !strings.Contains(a, "msg=\"sweep done\" runs=305 dir=out") {
+		t.Fatalf("unexpected text form: %q", a)
+	}
+}
+
+func TestJSONMode(t *testing.T) {
+	var buf bytes.Buffer
+	h, err := New(&buf, ModeJSON, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slog.New(h).Info("hello", "n", 1)
+	out := buf.String()
+	if !strings.HasPrefix(out, "{") || !strings.Contains(out, `"msg":"hello"`) {
+		t.Fatalf("unexpected json form: %q", out)
+	}
+	if strings.Contains(out, `"time"`) {
+		t.Fatalf("time attribute not dropped: %q", out)
+	}
+}
+
+func TestUnknownMode(t *testing.T) {
+	if _, err := New(&bytes.Buffer{}, "yaml", Options{}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestLevelFilter(t *testing.T) {
+	var buf bytes.Buffer
+	h, err := New(&buf, ModeText, Options{Level: slog.LevelWarn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := slog.New(h)
+	l.Info("hidden")
+	l.Warn("shown")
+	out := buf.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "shown") {
+		t.Fatalf("level filter broken: %q", out)
+	}
+}

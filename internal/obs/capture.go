@@ -38,6 +38,10 @@ type RunArtifact struct {
 	// Checkpoints holds the run's hash-chained flight-recorder records
 	// (checkpoints.jsonl), empty when checkpointing was off.
 	Checkpoints []CheckpointRecord
+	// Metrics carries the run's headline result scalars (energy
+	// efficiency, downtime, battery lifetime, ...) for the manifest's
+	// summary and cross-run comparison.
+	Metrics map[string]float64
 }
 
 // Capture aggregates the per-run observability artifacts of a sweep and
@@ -49,6 +53,7 @@ type RunArtifact struct {
 type Capture struct {
 	mu       sync.Mutex
 	eventCap int
+	label    string
 	runs     []RunArtifact
 }
 
@@ -71,6 +76,21 @@ func (c *Capture) EventCap() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.eventCap
+}
+
+// SetLabel names the producing sweep/experiment; the label lands in the
+// manifest so the registry can show what a capture directory holds.
+func (c *Capture) SetLabel(label string) {
+	c.mu.Lock()
+	c.label = label
+	c.mu.Unlock()
+}
+
+// Label returns the capture's label.
+func (c *Capture) Label() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.label
 }
 
 // Contribute adds one run's artifact. Events and decisions are stamped
@@ -160,7 +180,22 @@ func artifactFingerprint(a RunArtifact) string {
 		// The chain hash already covers slot, step, time and state.
 		fmt.Fprintf(&sb, "|%s", r.Hash)
 	}
+	for _, k := range sortedMetricKeys(a.Metrics) {
+		fmt.Fprintf(&sb, "|%s=%g", k, a.Metrics[k])
+	}
 	return sb.String()
+}
+
+func sortedMetricKeys(m map[string]float64) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Registry renders the capture's deterministic counters into a fresh
@@ -212,8 +247,10 @@ func countKinds(events []Event) map[EventKind]int {
 // WriteFiles writes events.jsonl, decisions.jsonl and metrics.prom into
 // dir, creating it if needed; probes.jsonl, audits.jsonl and
 // checkpoints.jsonl follow whenever any run contributed probe samples, an
-// audit report or flight-recorder checkpoints. Output depends only on the
-// contributed artifacts, never on contribution order.
+// audit report or flight-recorder checkpoints. A manifest.json indexing
+// the runs and inventorying the written files (sizes + SHA-256) is
+// installed atomically last, with status complete. Output depends only on
+// the contributed artifacts, never on contribution order.
 func (c *Capture) WriteFiles(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("obs: capture dir: %w", err)
@@ -266,9 +303,26 @@ func (c *Capture) WriteFiles(dir string) error {
 			return err
 		}
 	}
-	return writeTo(filepath.Join(dir, "metrics.prom"), func(f *os.File) error {
+	if err := writeTo(filepath.Join(dir, "metrics.prom"), func(f *os.File) error {
 		return c.Registry().WritePrometheus(f)
-	})
+	}); err != nil {
+		return err
+	}
+
+	manifest := c.BuildManifest()
+	inv, err := inventory(dir, ArtifactNames)
+	if err != nil {
+		return err
+	}
+	manifest.Artifacts = inv
+	return WriteManifest(dir, manifest)
+}
+
+// ArtifactNames lists every capture-owned artifact file a manifest may
+// inventory, in inventory order.
+var ArtifactNames = []string{
+	"events.jsonl", "decisions.jsonl", "metrics.prom",
+	"probes.jsonl", "audits.jsonl", "checkpoints.jsonl",
 }
 
 func writeTo(path string, fn func(*os.File) error) error {

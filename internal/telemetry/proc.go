@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"net/http"
+	"runtime"
+	"sync"
+
+	"heb/internal/obs"
+)
+
+// ProcMetrics exports the process's own runtime health as the
+// heb_proc_* family:
+//
+//	heb_proc_heap_alloc_bytes      gauge, live heap bytes
+//	heb_proc_heap_objects          gauge, live heap objects
+//	heb_proc_goroutines            gauge
+//	heb_proc_gc_runs_total         counter, completed GC cycles
+//	heb_proc_gc_pause_seconds_total counter, cumulative stop-the-world pause
+//
+// Values are pulled: call Sample before serving /metrics (or wrap the
+// registry handler with Handler, which does it per scrape).
+type ProcMetrics struct {
+	heapAlloc   *obs.Gauge
+	heapObjects *obs.Gauge
+	goroutines  *obs.Gauge
+	gcRuns      *obs.Counter
+	gcPause     *obs.Counter
+
+	mu          sync.Mutex
+	lastNumGC   uint32
+	lastPauseNs uint64
+}
+
+// NewProcMetrics registers the heb_proc_* family on reg (nil gets a
+// private registry).
+func NewProcMetrics(reg *obs.Registry) *ProcMetrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &ProcMetrics{
+		heapAlloc:   reg.Gauge("heb_proc_heap_alloc_bytes", "Live heap bytes (runtime.MemStats.HeapAlloc)."),
+		heapObjects: reg.Gauge("heb_proc_heap_objects", "Live heap objects."),
+		goroutines:  reg.Gauge("heb_proc_goroutines", "Goroutines currently running."),
+		gcRuns:      reg.Counter("heb_proc_gc_runs_total", "Completed garbage collection cycles."),
+		gcPause:     reg.Counter("heb_proc_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time."),
+	}
+}
+
+// Sample reads the runtime state into the gauges and advances the GC
+// counters by the delta since the previous sample.
+func (p *ProcMetrics) Sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p.heapAlloc.Set(float64(ms.HeapAlloc))
+	p.heapObjects.Set(float64(ms.HeapObjects))
+	p.goroutines.Set(float64(runtime.NumGoroutine()))
+
+	p.mu.Lock()
+	gcDelta := ms.NumGC - p.lastNumGC
+	pauseDelta := ms.PauseTotalNs - p.lastPauseNs
+	p.lastNumGC = ms.NumGC
+	p.lastPauseNs = ms.PauseTotalNs
+	p.mu.Unlock()
+	p.gcRuns.Add(float64(gcDelta))
+	p.gcPause.Add(float64(pauseDelta) / 1e9)
+}
+
+// Handler wraps next (conventionally the registry's /metrics handler) so
+// every scrape sees fresh process gauges.
+func (p *ProcMetrics) Handler(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		p.Sample()
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"time"
+
+	"heb/internal/obs"
+	"heb/internal/runner"
+)
+
+// RunnerMetrics exports a worker pool's live state as the heb_runner_*
+// family:
+//
+//	heb_runner_workers               gauge, configured pool size
+//	heb_runner_workers_busy          gauge, workers inside a cell now
+//	heb_runner_queue_depth           gauge, cells not yet started
+//	heb_runner_utilization_ratio     gauge, mean busy fraction so far
+//	heb_runner_cells_completed_total counter
+//	heb_runner_cells_failed_total    counter
+//	heb_runner_cell_seconds          histogram, per-cell wall time
+//
+// The counters and the latency histogram are fed push-style through the
+// pool's cell observer (Attach); the gauges are pulled from a Progress
+// snapshot whenever Sample runs — call it before serving /metrics.
+type RunnerMetrics struct {
+	prog    *runner.Progress
+	workers int
+
+	gworkers, busy, queue, util *obs.Gauge
+	completed, failed           *obs.Counter
+	cellSeconds                 *obs.Histogram
+}
+
+// NewRunnerMetrics registers the heb_runner_* family on reg (nil gets a
+// private registry) and attaches the cell observer to prog. workers is
+// the configured pool size exported as heb_runner_workers.
+func NewRunnerMetrics(reg *obs.Registry, prog *runner.Progress, workers int) *RunnerMetrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	m := &RunnerMetrics{prog: prog, workers: workers}
+	m.gworkers = reg.Gauge("heb_runner_workers", "Configured worker pool size.")
+	m.busy = reg.Gauge("heb_runner_workers_busy", "Workers currently inside a cell.")
+	m.queue = reg.Gauge("heb_runner_queue_depth", "Cells queued and not yet started.")
+	m.util = reg.Gauge("heb_runner_utilization_ratio", "Mean busy-worker fraction since the sweep started (0..1).")
+	m.completed = reg.Counter("heb_runner_cells_completed_total", "Cells finished (failures included).")
+	m.failed = reg.Counter("heb_runner_cells_failed_total", "Cells finished with an error.")
+	// Cells span milliseconds (unit tests) to minutes (full-length runs).
+	m.cellSeconds = reg.Histogram("heb_runner_cell_seconds", "Per-cell wall time.",
+		obs.ExponentialBuckets(0.001, 4, 10))
+	m.gworkers.Set(float64(workers))
+	if prog != nil {
+		prog.SetCellObserver(func(d time.Duration, failed bool) {
+			m.cellSeconds.Observe(d.Seconds())
+			m.completed.Inc()
+			if failed {
+				m.failed.Inc()
+			}
+		})
+	}
+	return m
+}
+
+// Sample refreshes the pool gauges from the current progress snapshot.
+func (m *RunnerMetrics) Sample() {
+	if m.prog == nil {
+		return
+	}
+	s := m.prog.Snapshot()
+	m.busy.Set(float64(s.Active))
+	m.queue.Set(float64(s.Queued))
+	m.util.Set(s.Utilization(m.workers))
+}
+
+// Detach removes the cell observer from the pool.
+func (m *RunnerMetrics) Detach() {
+	if m.prog != nil {
+		m.prog.SetCellObserver(nil)
+	}
+}

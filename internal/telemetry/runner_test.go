@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"heb/internal/obs"
+	"heb/internal/runner"
+)
+
+func TestRunnerMetricsCountsCells(t *testing.T) {
+	reg := obs.NewRegistry()
+	var prog runner.Progress
+	m := NewRunnerMetrics(reg, &prog, 2)
+	defer m.Detach()
+
+	_, err := runner.MapProgress(context.Background(), 6, 2, &prog, func(_ context.Context, i int) (int, error) {
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Sample()
+
+	if v, _ := reg.Get("heb_runner_cells_completed_total"); v != 6 {
+		t.Fatalf("completed = %g, want 6", v)
+	}
+	if v, _ := reg.Get("heb_runner_cells_failed_total"); v != 0 {
+		t.Fatalf("failed = %g, want 0", v)
+	}
+	if v, _ := reg.Get("heb_runner_workers"); v != 2 {
+		t.Fatalf("workers = %g, want 2", v)
+	}
+	if v, _ := reg.Get("heb_runner_cell_seconds_count"); v != 6 {
+		t.Fatalf("histogram count = %g, want 6", v)
+	}
+	if v, _ := reg.Get("heb_runner_workers_busy"); v != 0 {
+		t.Fatalf("busy after completion = %g, want 0", v)
+	}
+	if v, _ := reg.Get("heb_runner_queue_depth"); v != 0 {
+		t.Fatalf("queue after completion = %g, want 0", v)
+	}
+}
+
+func TestRunnerMetricsCountsFailures(t *testing.T) {
+	reg := obs.NewRegistry()
+	var prog runner.Progress
+	m := NewRunnerMetrics(reg, &prog, 1)
+	defer m.Detach()
+
+	_, _ = runner.MapProgress(context.Background(), 3, 1, &prog, func(_ context.Context, i int) (int, error) {
+		if i == 1 {
+			return 0, context.Canceled
+		}
+		return i, nil
+	})
+	if v, _ := reg.Get("heb_runner_cells_failed_total"); v < 1 {
+		t.Fatalf("failed = %g, want >= 1", v)
+	}
+}
+
+func TestProcMetricsSample(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewProcMetrics(reg)
+	p.Sample()
+	if v, ok := reg.Get("heb_proc_heap_alloc_bytes"); !ok || v <= 0 {
+		t.Fatalf("heap_alloc = %g, %v", v, ok)
+	}
+	if v, ok := reg.Get("heb_proc_goroutines"); !ok || v < 1 {
+		t.Fatalf("goroutines = %g, %v", v, ok)
+	}
+}
+
+func TestProcMetricsHandlerSamplesPerScrape(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewProcMetrics(reg)
+	h := p.Handler(reg.Handler())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"heb_proc_heap_alloc_bytes",
+		"heb_proc_goroutines",
+		"heb_proc_gc_runs_total",
+		"heb_proc_gc_pause_seconds_total",
+		"heb_proc_heap_objects",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %s", want)
+		}
+	}
+}

@@ -36,7 +36,7 @@ func captureBytes(t *testing.T, workers int) map[string][]byte {
 		t.Fatal(err)
 	}
 	out := map[string][]byte{}
-	for _, name := range []string{"events.jsonl", "decisions.jsonl", "metrics.prom", "probes.jsonl", "audits.jsonl"} {
+	for _, name := range []string{"events.jsonl", "decisions.jsonl", "metrics.prom", "probes.jsonl", "audits.jsonl", "manifest.json"} {
 		b, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
 			t.Fatal(err)

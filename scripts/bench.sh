@@ -11,9 +11,10 @@
 # (nil sinks) and on (event log + decision trace): Disabled's allocs/op
 # must equal BenchmarkEngineStep's, proving the nil-sink guards keep the
 # engine hot loop allocation-free. The Probes pair does the same for the
-# deep layer (per-device probes + energy auditor + span tracer), and the
+# deep layer (per-device probes + energy auditor + span tracer), the
 # Checkpoint pair for the flight recorder (state snapshots at slot
-# boundaries).
+# boundaries), and the Manifest pair for the capture run-index layer
+# (manifest rows built from contributed artifacts, no file IO).
 #
 # Usage:
 #   scripts/bench.sh [sweep.json [obs.json]]   measure and write baselines
@@ -129,4 +130,4 @@ run_set() {
 }
 
 run_set 'BenchmarkMultiSeedSequential|BenchmarkMultiSeedParallel|BenchmarkEngineStep$' "$sweep_out"
-run_set 'BenchmarkEngineObsDisabled|BenchmarkEngineObsEnabled|BenchmarkEngineProbesDisabled|BenchmarkEngineProbesEnabled|BenchmarkEngineCheckpointDisabled|BenchmarkEngineCheckpointEnabled' "$obs_out"
+run_set 'BenchmarkEngineObsDisabled|BenchmarkEngineObsEnabled|BenchmarkEngineProbesDisabled|BenchmarkEngineProbesEnabled|BenchmarkEngineCheckpointDisabled|BenchmarkEngineCheckpointEnabled|BenchmarkEngineManifestDisabled|BenchmarkEngineManifestEnabled' "$obs_out"

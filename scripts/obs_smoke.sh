@@ -17,10 +17,18 @@
 #
 # Phase 3 exercises the flight recorder end to end: record a run with
 # -checkpoint-every (obscheck validates the hash chain), kill it by
-# truncating the chain and -resume (artifacts must come out
-# byte-identical to the uninterrupted run), -replay a slot window, and
-# hebbisect the run against a differently-budgeted recording (must find
-# a divergence) and against itself (must not).
+# truncating the chain and -resume (artifacts — manifest included —
+# must come out byte-identical to the uninterrupted run, and the
+# leftover "running" manifest must go through the killed transition),
+# -replay a slot window, and hebbisect the run against a
+# differently-budgeted recording (must find a divergence) and against
+# itself (must not).
+#
+# Phase 4 serves the captures back: hebmon -runs scans the directory
+# tree into the run registry, /healthz + /readyz come up, /api/runs
+# lists every complete run, and the compare endpoint distinguishes a
+# run from its differently-budgeted twin while calling the resumed
+# re-recording identical to the original.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,7 +56,7 @@ done
 
 grep -q "battery wear:" "$dir/deep_stdout.txt" ||
 	{ echo "obs smoke: run report lacks battery wear line" >&2; exit 1; }
-grep -q "audited .*, 0 failed" "$dir/deep_stderr.txt" ||
+grep -q 'msg="audits done" runs=1 failed=0' "$dir/deep_stderr.txt" ||
 	{ echo "obs smoke: strict audit did not report a clean pass" >&2; exit 1; }
 
 # obscheck validates the deep artifacts too: probe/audit JSONL round-trip
@@ -69,12 +77,19 @@ go run ./cmd/obscheck "$dir/fr" | grep -q "chain intact" ||
 	{ echo "obs smoke: obscheck did not validate the checkpoint chain" >&2; exit 1; }
 
 # Kill-and-resume: keep only the first checkpoint (as if the run died
-# right after writing it), resume, and demand byte-identical artifacts.
+# right after writing it) and a still-"running" manifest (as the dead
+# writer would leave behind), resume, and demand byte-identical
+# artifacts plus the running -> killed lifecycle transition.
 mkdir "$dir/fr_resumed"
 head -1 "$dir/fr/checkpoints.jsonl" >"$dir/fr_resumed/checkpoints.jsonl"
+sed 's/"status": "complete"/"status": "running"/' "$dir/fr/manifest.json" \
+	>"$dir/fr_resumed/manifest.json"
 go run ./cmd/hebsim -exp run -scheme HEB-D -workload PR -duration 30m \
-	-obs "$dir/fr_resumed" -checkpoint-every 1 -resume >"$dir/fr_resume_stdout.txt"
-for f in events.jsonl decisions.jsonl metrics.prom checkpoints.jsonl; do
+	-obs "$dir/fr_resumed" -checkpoint-every 1 -resume \
+	>"$dir/fr_resume_stdout.txt" 2>"$dir/fr_resume_stderr.txt"
+grep -q "marked killed" "$dir/fr_resume_stderr.txt" ||
+	{ echo "obs smoke: resume did not mark the dead writer's manifest killed" >&2; exit 1; }
+for f in events.jsonl decisions.jsonl metrics.prom checkpoints.jsonl manifest.json; do
 	cmp -s "$dir/fr/$f" "$dir/fr_resumed/$f" ||
 		{ echo "obs smoke: $f differs between full and resumed run" >&2; exit 1; }
 done
@@ -94,4 +109,48 @@ grep -q "first divergence at checkpoint slot" "$dir/bisect.txt" ||
 go run ./cmd/hebbisect "$dir/fr" "$dir/fr" | grep -q "no divergence" ||
 	{ echo "obs smoke: hebbisect self-compare found a divergence" >&2; exit 1; }
 
+echo "== obs smoke: run registry over HTTP (hebmon -runs) =="
+go build -o "$dir/hebmon" ./cmd/hebmon
+addr="127.0.0.1:18462"
+"$dir/hebmon" -addr "$addr" -runs "$dir" -rescan 1s >"$dir/hebmon.log" 2>&1 &
+hebmon_pid=$!
+trap 'kill "$hebmon_pid" 2>/dev/null; rm -rf "$dir"' EXIT
+
+for _ in $(seq 1 50); do
+	curl -fsS "http://$addr/readyz" >/dev/null 2>&1 && break
+	sleep 0.2
+done
+curl -fsS "http://$addr/healthz" >/dev/null ||
+	{ echo "obs smoke: hebmon /healthz unreachable" >&2; exit 1; }
+curl -fsS "http://$addr/readyz" | grep -q "ready" ||
+	{ echo "obs smoke: hebmon /readyz never reported ready" >&2; exit 1; }
+
+# Every capture this script produced is complete; the registry must list
+# them all (fr and fr_resumed are byte-identical, so they share one ID).
+curl -fsS "http://$addr/api/runs" >"$dir/runs.json"
+grep -q '"status":"complete"' "$dir/runs.json" ||
+	{ echo "obs smoke: /api/runs lists no complete runs" >&2; exit 1; }
+if grep -qE '"(capture_)?status":"(running|killed|failed)"' "$dir/runs.json"; then
+	echo "obs smoke: /api/runs lists a non-complete run" >&2; exit 1
+fi
+
+# Compare the recorded run against its differently-budgeted twin (must
+# diverge) and against the resumed re-recording (must be identical).
+id_a=$(grep -o '"id": "[0-9a-f]*"' "$dir/fr/manifest.json" | head -1 | grep -o '[0-9a-f]\{12\}')
+id_b=$(grep -o '"id": "[0-9a-f]*"' "$dir/fr_b/manifest.json" | head -1 | grep -o '[0-9a-f]\{12\}')
+id_r=$(grep -o '"id": "[0-9a-f]*"' "$dir/fr_resumed/manifest.json" | head -1 | grep -o '[0-9a-f]\{12\}')
+[[ -n "$id_a" && -n "$id_b" && "$id_a" != "$id_b" && "$id_a" == "$id_r" ]] ||
+	{ echo "obs smoke: manifest run IDs inconsistent ($id_a/$id_b/$id_r)" >&2; exit 1; }
+
+curl -fsS "http://$addr/api/runs/$id_a/compare/$id_b" >"$dir/cmp_ab.json"
+grep -q '"same_config":false' "$dir/cmp_ab.json" ||
+	{ echo "obs smoke: budget twin reported as same config" >&2; exit 1; }
+grep -q '"delta":' "$dir/cmp_ab.json" ||
+	{ echo "obs smoke: budget twin shows no metric deltas" >&2; exit 1; }
+
+curl -fsS "http://$addr/api/runs/$id_a/compare/$id_r" >"$dir/cmp_ar.json"
+grep -q '"identical":true' "$dir/cmp_ar.json" ||
+	{ echo "obs smoke: resumed re-recording not identical to original" >&2; exit 1; }
+
+kill "$hebmon_pid" 2>/dev/null
 echo "obs smoke: OK"
