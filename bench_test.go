@@ -15,6 +15,7 @@ import (
 
 	"heb/internal/esd"
 	"heb/internal/obs"
+	"heb/internal/obs/alerts"
 	"heb/internal/pat"
 	"heb/internal/power"
 	"heb/internal/sim"
@@ -541,6 +542,41 @@ func benchEngineManifest(b *testing.B, enabled bool) {
 func BenchmarkEngineManifestDisabled(b *testing.B) { benchEngineManifest(b, false) }
 
 func BenchmarkEngineManifestEnabled(b *testing.B) { benchEngineManifest(b, true) }
+
+// benchEngineAlerts runs the HEB-D hour with the SLO alert engine either
+// off (Alert ModeOff — the default) or on in report mode with the default
+// rules. Disabled must match BenchmarkEngineStep's allocs/op exactly: the
+// nil-engine guards keep the hot loop untouched when no rules are loaded.
+func benchEngineAlerts(b *testing.B, enabled bool) {
+	b.Helper()
+	p := DefaultPrototype()
+	pr, err := WorkloadNamed("PR")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := pr.WithDuration(time.Hour).Trace(p); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	steps := 0
+	for i := 0; i < b.N; i++ {
+		q := p
+		if enabled {
+			q.Alert = alerts.ModeReport
+		}
+		res, err := q.Run(HEBD, pr.WithDuration(time.Hour), RunOptions{Duration: time.Hour})
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += res.Steps
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "simSteps/s")
+}
+
+func BenchmarkEngineAlertsDisabled(b *testing.B) { benchEngineAlerts(b, false) }
+
+func BenchmarkEngineAlertsEnabled(b *testing.B) { benchEngineAlerts(b, true) }
 
 // benchMultiSeed measures the multi-seed sweep at a fixed worker count.
 // The seed × scheme grid is the repo's heaviest embarrassingly-parallel

@@ -3,13 +3,20 @@ package main
 import (
 	_ "embed"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"slices"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 
+	"heb"
 	"heb/internal/obs"
+	"heb/internal/obs/alerts"
 	"heb/internal/obs/registry"
+	"heb/internal/obs/registry/baseline"
 	"heb/internal/telemetry"
 )
 
@@ -27,6 +34,11 @@ type monitor struct {
 	stream  *obs.EventStream
 	reg     *registry.Registry
 	ready   atomic.Bool
+
+	// sseMu guards sseReported, the portion of the stream's cumulative
+	// drop count already folded into heb_sse_dropped_total.
+	sseMu       sync.Mutex
+	sseReported int64
 }
 
 // mux composes the monitor API: the recorder endpoints at their
@@ -42,9 +54,24 @@ func (m *monitor) mux() *http.ServeMux {
 	})
 	mux.HandleFunc("GET /readyz", m.handleReady)
 	mux.Handle("/events", eventsHandler(m.stream))
-	mux.Handle("/metrics", m.proc.Handler(m.metrics.Registry().Handler()))
+	// Fold the stream's cumulative subscriber-drop count into a counter
+	// before every scrape so lossy SSE delivery is visible on /metrics.
+	sseDrops := m.metrics.Registry().Counter("heb_sse_dropped_total",
+		"SSE events dropped to slow /events subscribers.")
+	metricsH := m.proc.Handler(m.metrics.Registry().Handler())
+	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.sseMu.Lock()
+		if d := m.stream.Dropped(); d > m.sseReported {
+			sseDrops.Add(float64(d - m.sseReported))
+			m.sseReported = d
+		}
+		m.sseMu.Unlock()
+		metricsH.ServeHTTP(w, r)
+	}))
+	mux.HandleFunc("GET /api/alerts", m.handleAlerts)
 	mux.HandleFunc("GET /api/runs", m.handleRuns)
 	mux.HandleFunc("GET /api/runs/{id}", m.handleRun)
+	mux.HandleFunc("GET /api/runs/{id}/score", m.handleScore)
 	mux.HandleFunc("GET /api/runs/{id}/compare/{other}", m.handleCompare)
 	mux.HandleFunc("GET /api/captures", m.handleCaptures)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -75,12 +102,37 @@ type runsResponse struct {
 	Errors []string `json:"errors,omitempty"`
 }
 
+// validStatuses is the closed set of run lifecycle states the registry
+// indexes; any other ?status= value can never match and gets a 400.
+var validStatuses = []string{obs.StatusRunning, obs.StatusComplete, obs.StatusFailed, obs.StatusKilled}
+
+// schemeNames lists the simulator's scheme identifiers for the ?scheme=
+// filter validation.
+func schemeNames() []string {
+	ids := heb.AllSchemes()
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = id.String()
+	}
+	return out
+}
+
 func (m *monitor) handleRuns(w http.ResponseWriter, r *http.Request) {
 	if m.reg == nil {
 		writeText(w, http.StatusServiceUnavailable, "no capture root configured (start hebmon with -runs)\n")
 		return
 	}
 	q := r.URL.Query()
+	if s := q.Get("status"); s != "" && !slices.Contains(validStatuses, s) {
+		writeText(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown status %q (valid: %s)\n", s, strings.Join(validStatuses, ", ")))
+		return
+	}
+	if s := q.Get("scheme"); s != "" && !slices.Contains(schemeNames(), s) {
+		writeText(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown scheme %q (valid: %s)\n", s, strings.Join(schemeNames(), ", ")))
+		return
+	}
 	runs := m.reg.Runs(registry.Filter{
 		Scheme:   q.Get("scheme"),
 		Workload: q.Get("workload"),
@@ -103,6 +155,89 @@ func (m *monitor) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, run)
+}
+
+// alertsResponse is the /api/alerts wire form: the live stream's recent
+// alert events (from the SSE backlog, so it works with or without a
+// registry) plus a rollup of indexed runs whose SLO verdict is
+// unhealthy.
+type alertsResponse struct {
+	Live    []obs.Event `json:"live"`
+	Dropped int64       `json:"dropped"`
+	Runs    []runHealth `json:"runs,omitempty"`
+}
+
+// runHealth is one unhealthy run in the registry rollup.
+type runHealth struct {
+	ID        string `json:"id"`
+	Scheme    string `json:"scheme,omitempty"`
+	Workload  string `json:"workload,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	Health    string `json:"health"`
+	Warnings  int    `json:"warnings"`
+	Criticals int    `json:"criticals"`
+}
+
+func (m *monitor) handleAlerts(w http.ResponseWriter, _ *http.Request) {
+	id, _, backlog := m.stream.Subscribe(1)
+	m.stream.Unsubscribe(id)
+	live := []obs.Event{}
+	for _, e := range backlog {
+		if e.Kind == obs.EventAlert {
+			live = append(live, e)
+		}
+	}
+	resp := alertsResponse{Live: live, Dropped: m.stream.Dropped()}
+	if m.reg != nil {
+		seen := map[string]bool{}
+		for _, run := range m.reg.Runs(registry.Filter{}) {
+			h := run.Summary.Health
+			if h == "" || h == alerts.HealthOK || seen[run.ID] {
+				continue
+			}
+			seen[run.ID] = true
+			resp.Runs = append(resp.Runs, runHealth{
+				ID: run.ID, Scheme: run.Scheme, Workload: run.Workload, Seed: run.Seed,
+				Health: h, Warnings: run.Summary.AlertWarnings, Criticals: run.Summary.AlertCriticals,
+			})
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func (m *monitor) handleScore(w http.ResponseWriter, r *http.Request) {
+	if m.reg == nil {
+		writeText(w, http.StatusServiceUnavailable, "no capture root configured (start hebmon with -runs)\n")
+		return
+	}
+	id := r.PathValue("id")
+	if _, ok := m.reg.Find(id); !ok {
+		writeText(w, http.StatusNotFound, "unknown run\n")
+		return
+	}
+	win := baseline.Window{}
+	if q := r.URL.Query().Get("window"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeText(w, http.StatusBadRequest, "bad window\n")
+			return
+		}
+		win.MaxN = v
+	}
+	if q := r.URL.Query().Get("min_cohort"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeText(w, http.StatusBadRequest, "bad min_cohort\n")
+			return
+		}
+		win.MinN = v
+	}
+	sc, err := m.reg.Score(id, win)
+	if err != nil {
+		writeText(w, http.StatusBadRequest, err.Error()+"\n")
+		return
+	}
+	writeJSON(w, sc)
 }
 
 func (m *monitor) handleCompare(w http.ResponseWriter, r *http.Request) {

@@ -11,6 +11,7 @@ import (
 
 	"heb"
 	"heb/internal/obs"
+	"heb/internal/obs/alerts"
 	"heb/internal/obs/registry"
 	"heb/internal/telemetry"
 )
@@ -187,13 +188,164 @@ func TestAPICompareTwoSeeds(t *testing.T) {
 
 func TestAPIWithoutRegistry(t *testing.T) {
 	_, ts := newTestMonitor(t, "")
-	for _, path := range []string{"/api/runs", "/api/captures", "/api/runs/abc", "/api/runs/a/compare/b"} {
+	for _, path := range []string{"/api/runs", "/api/captures", "/api/runs/abc", "/api/runs/abc/score", "/api/runs/a/compare/b"} {
 		if code, _ := get(t, ts.URL+path); code != http.StatusServiceUnavailable {
 			t.Errorf("%s = %d, want 503", path, code)
 		}
 	}
+	// /api/alerts is live-only and must keep working without a registry.
+	if code, _ := get(t, ts.URL+"/api/alerts"); code != http.StatusOK {
+		t.Error("/api/alerts needs a registry")
+	}
 	if code, _ := get(t, ts.URL+"/readyz"); code != http.StatusOK {
 		t.Error("readyz not ok")
+	}
+}
+
+func TestAPIRunsFilterValidation(t *testing.T) {
+	root := t.TempDir()
+	captureTwoSeeds(t, root+"/sweep")
+	_, ts := newTestMonitor(t, root)
+
+	code, body := get(t, ts.URL+"/api/runs?status=bogus")
+	if code != http.StatusBadRequest || !strings.Contains(string(body), "unknown status") {
+		t.Fatalf("bogus status = %d: %s", code, body)
+	}
+	if !strings.Contains(string(body), obs.StatusComplete) {
+		t.Errorf("400 body does not list the valid statuses: %s", body)
+	}
+
+	code, body = get(t, ts.URL+"/api/runs?scheme=NoSuch")
+	if code != http.StatusBadRequest || !strings.Contains(string(body), "unknown scheme") {
+		t.Fatalf("bogus scheme = %d: %s", code, body)
+	}
+	if !strings.Contains(string(body), "HEB-D") {
+		t.Errorf("400 body does not list the valid schemes: %s", body)
+	}
+
+	// Valid-but-unmatched filters still answer 200 with zero rows.
+	if code, body = get(t, ts.URL+"/api/runs?scheme=BaOnly&status=failed"); code != http.StatusOK {
+		t.Fatalf("valid filter = %d: %s", code, body)
+	}
+}
+
+// captureAlerted records one HEB-D run with the rule engine on and a
+// deliberately low SoC ceiling so the run's health verdict is warn.
+func captureAlerted(t *testing.T, dir string) obs.Manifest {
+	t.Helper()
+	c := obs.NewCapture()
+	p := heb.DefaultPrototype()
+	p.Capture = c
+	p.Alert = alerts.ModeReport
+	p.AlertRules = alerts.Rules{SoCCeiling: 0.5}
+	wl, err := heb.WorkloadNamed("PR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const d = 2 * time.Hour
+	if _, err := p.Run(heb.HEBD, wl.WithDuration(d), heb.RunOptions{Duration: d}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteFiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	m, err := obs.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAPIAlerts(t *testing.T) {
+	root := t.TempDir()
+	captureAlerted(t, root+"/alerted")
+	m, ts := newTestMonitor(t, root)
+
+	// One alert and one unrelated event on the live stream: only the
+	// alert lands in the live list.
+	m.stream.Emit(obs.Event{Seconds: 1, Kind: obs.EventRunStart, Server: -1, Detail: "HEB-D"})
+	m.stream.Emit(obs.Event{Seconds: 2, Kind: obs.EventAlert, Server: -1,
+		Watts: 0.97, Detail: "soc_ceiling/warn @battery"})
+
+	code, body := get(t, ts.URL+"/api/alerts")
+	if code != http.StatusOK {
+		t.Fatalf("/api/alerts = %d: %s", code, body)
+	}
+	var resp struct {
+		Live    []obs.Event `json:"live"`
+		Dropped int64       `json:"dropped"`
+		Runs    []struct {
+			ID        string `json:"id"`
+			Scheme    string `json:"scheme"`
+			Health    string `json:"health"`
+			Warnings  int    `json:"warnings"`
+			Criticals int    `json:"criticals"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Live) != 1 || resp.Live[0].Kind != obs.EventAlert {
+		t.Fatalf("live alerts = %+v, want exactly the alert event", resp.Live)
+	}
+	if len(resp.Runs) != 1 {
+		t.Fatalf("unhealthy rollup = %+v, want the alerted run", resp.Runs)
+	}
+	r := resp.Runs[0]
+	if r.Health != alerts.HealthWarn || r.Warnings == 0 || r.Criticals != 0 || r.Scheme != "HEB-D" {
+		t.Fatalf("rollup row = %+v", r)
+	}
+}
+
+func TestAPIScore(t *testing.T) {
+	root := t.TempDir()
+	m := captureTwoSeeds(t, root+"/sweep")
+	_, ts := newTestMonitor(t, root)
+
+	id := m.Runs[0].ID
+	code, body := get(t, ts.URL+"/api/runs/"+id+"/score?min_cohort=2")
+	if code != http.StatusOK {
+		t.Fatalf("score = %d: %s", code, body)
+	}
+	var sc registry.RunScore
+	if err := json.Unmarshal(body, &sc); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Run.ID != id || sc.Cohort != 2 || len(sc.Metrics) == 0 {
+		t.Fatalf("score = %+v", sc)
+	}
+	if sc.Verdict == "" {
+		t.Fatal("score has no verdict")
+	}
+
+	if code, _ = get(t, ts.URL+"/api/runs/ffffffffffff/score"); code != http.StatusNotFound {
+		t.Fatalf("unknown run score = %d, want 404", code)
+	}
+	if code, _ = get(t, ts.URL+"/api/runs/"+id+"/score?window=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad window = %d, want 400", code)
+	}
+	if code, _ = get(t, ts.URL+"/api/runs/"+id+"/score?min_cohort=-1"); code != http.StatusBadRequest {
+		t.Fatalf("bad min_cohort = %d, want 400", code)
+	}
+}
+
+func TestMetricsReportSSEDrops(t *testing.T) {
+	m, ts := newTestMonitor(t, "")
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK || !strings.Contains(string(body), "heb_sse_dropped_total 0") {
+		t.Fatalf("/metrics missing zero heb_sse_dropped_total: %d\n%s", code, body)
+	}
+
+	// A subscriber with a one-event buffer that never drains: the second
+	// and later emits are dropped and the counter reports them.
+	id, _, _ := m.stream.Subscribe(1)
+	defer m.stream.Unsubscribe(id)
+	for i := 0; i < 4; i++ {
+		m.stream.Emit(obs.Event{Seconds: float64(i), Kind: obs.EventRunStart, Server: -1})
+	}
+	_, body = get(t, ts.URL+"/metrics")
+	if !strings.Contains(string(body), "heb_sse_dropped_total 3") {
+		t.Fatalf("/metrics did not report 3 dropped SSE events:\n%s", body)
 	}
 }
 

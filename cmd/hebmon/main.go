@@ -17,9 +17,15 @@
 //
 //	GET /api/runs                         run index (?scheme= ?workload= ?status=)
 //	GET /api/runs/{id}                    one run's manifest row
+//	GET /api/runs/{id}/score              robust z-score vs the run's cohort (?window= ?min_cohort=)
 //	GET /api/runs/{id}/compare/{other}    metric deltas + decision diff (?tol=)
 //	GET /api/captures                     capture directories with status + bytes
+//	GET /api/alerts                       live SLO alert events + unhealthy-run rollup
 //	GET /readyz                           200 once the initial scan landed
+//
+// With -alerts report|strict the live run evaluates the online SLO rule
+// engine; fired alerts stream over /events (kind "alert") and land on
+// /api/alerts, and strict mode aborts the run at the first critical.
 //
 // SIGINT/SIGTERM shut the monitor down gracefully (in-flight requests
 // get up to 5 s to drain).
@@ -45,6 +51,7 @@ import (
 	"heb"
 	"heb/internal/logging"
 	"heb/internal/obs"
+	"heb/internal/obs/alerts"
 	"heb/internal/obs/registry"
 	"heb/internal/sim"
 	"heb/internal/telemetry"
@@ -64,6 +71,7 @@ func main() {
 		exit     = flag.Bool("exit", false, "exit when the run completes instead of keeping the monitor up")
 		runsDir  = flag.String("runs", "", "capture root to index for /api/runs (directories holding manifest.json)")
 		rescan   = flag.Duration("rescan", 2*time.Second, "registry re-scan interval for -runs")
+		alertsF  = flag.String("alerts", "off", "online SLO alerting for the live run: off, report, or strict (strict aborts on the first critical; fired alerts stream on /events and /api/alerts)")
 		logMode  = flag.String("log", logging.ModeText, "structured log format on stderr: text (deterministic) or json")
 	)
 	flag.Parse()
@@ -71,14 +79,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hebmon:", err)
 		os.Exit(2)
 	}
+	alertMode, err := alerts.ParseMode(*alertsF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hebmon:", err)
+		os.Exit(2)
+	}
 
-	if err := run(*addr, *scheme, *wl, *duration, *speedup, *history, *exit, *runsDir, *rescan); err != nil {
+	if err := run(*addr, *scheme, *wl, *duration, *speedup, *history, *exit, *runsDir, *rescan, alertMode); err != nil {
 		slog.Error("monitor failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, scheme, wl string, duration time.Duration, speedup float64, history int, exitWhenDone bool, runsDir string, rescan time.Duration) error {
+func run(addr, scheme, wl string, duration time.Duration, speedup float64, history int, exitWhenDone bool, runsDir string, rescan time.Duration, alertMode alerts.Mode) error {
 	id, err := schemeByName(scheme)
 	if err != nil {
 		return err
@@ -123,7 +136,7 @@ func run(addr, scheme, wl string, duration time.Duration, speedup float64, histo
 	serveErr := make(chan error, 1)
 	go func() {
 		slog.Info("monitor listening", "addr", addr,
-			"endpoints", "/ /healthz /readyz /latest /history /summary /curves /events /metrics /api/runs /api/captures /debug/pprof/")
+			"endpoints", "/ /healthz /readyz /latest /history /summary /curves /events /metrics /api/runs /api/captures /api/alerts /debug/pprof/")
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			serveErr <- err
 		}
@@ -146,7 +159,13 @@ func run(addr, scheme, wl string, duration time.Duration, speedup float64, histo
 	runDone := make(chan error, 1)
 	go func() {
 		p := heb.DefaultPrototype()
-		slog.Info("running", "scheme", scheme, "workload", wl, "duration", duration, "speedup", speedup)
+		var alertLog *alerts.Log
+		if alertMode != alerts.ModeOff {
+			alertLog = alerts.NewLog()
+			p.Alert = alertMode
+			p.Alerts = alertLog
+		}
+		slog.Info("running", "scheme", scheme, "workload", wl, "duration", duration, "speedup", speedup, "alerts", alertMode)
 		res, err := p.Run(id, w.WithDuration(duration), heb.RunOptions{
 			Duration: duration,
 			Observer: observer,
@@ -154,6 +173,11 @@ func run(addr, scheme, wl string, duration time.Duration, speedup float64, histo
 		})
 		if err == nil {
 			slog.Info("run complete", "result", res.String())
+		}
+		if alertLog != nil {
+			for _, r := range alertLog.Reports() {
+				slog.Info("alert verdict", "run", r.Run, "summary", r.Summary())
+			}
 		}
 		runDone <- err
 	}()

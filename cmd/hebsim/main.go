@@ -25,6 +25,7 @@ import (
 	"heb/internal/ascii"
 	"heb/internal/logging"
 	"heb/internal/obs"
+	"heb/internal/obs/alerts"
 	"heb/internal/pat"
 	"heb/internal/runner"
 	"heb/internal/sim"
@@ -51,6 +52,8 @@ func main() {
 		probes   = flag.Int("probes", 0, "sample per-device probes every N engine steps (0 = off); samples land in the -obs capture")
 		probeCap = flag.Int("probe-ring", 0, "retained probe samples per device (0 = obs package default)")
 		audit    = flag.String("audit", "off", "energy-conservation audit: off, report, or strict (strict aborts a run at its first violation)")
+		alertsF  = flag.String("alerts", "off", "online SLO alerting: off, report, or strict (strict aborts a run once a critical alert fires); fired alerts land in the -obs capture's alerts.jsonl and each run's manifest health verdict")
+		alertFlr = flag.Float64("alert-soc-floor", 0, "override the soc_floor alert threshold (0 = rule default, negative disables); tightening it above a scheme's natural SoC swing fault-injects a critical breach")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event span profile to this file (open in Perfetto; summarize with hebtrace)")
 		traceClk = flag.String("trace-clock", "virtual", "trace timestamps: virtual (deterministic) or wall (real elapsed time)")
 		ckptEvry = flag.Int("checkpoint-every", 0, "flight recorder: checkpoint the full run state every N control slots into <obs>/checkpoints.jsonl (-exp run; requires -obs)")
@@ -88,6 +91,18 @@ func main() {
 		audits = obs.NewAuditLog()
 		p.Audits = audits
 	}
+	alertMode, aerr := alerts.ParseMode(*alertsF)
+	if aerr != nil {
+		slog.Error("bad -alerts flag", "err", aerr)
+		os.Exit(2)
+	}
+	p.Alert = alertMode
+	p.AlertRules.SoCFloor = *alertFlr
+	var alertLog *alerts.Log
+	if alertMode != alerts.ModeOff {
+		alertLog = alerts.NewLog()
+		p.Alerts = alertLog
+	}
 	var tracer *obs.Tracer
 	if *traceOut != "" {
 		switch *traceClk {
@@ -120,10 +135,15 @@ func main() {
 	}
 	if *replay != "" {
 		// A replay re-executes a window of an already-recorded run; it must
-		// inspect, not overwrite, that run's artifacts.
+		// inspect, not overwrite, that run's artifacts. The alert engine is
+		// disabled with the capture: it does not compose with resuming from
+		// a checkpoint (its per-step state is not checkpointed).
 		capture = nil
 		p.Capture = nil
 		p.CheckpointEvery = 0
+		p.Alert = alerts.ModeOff
+		p.Alerts = nil
+		alertLog = nil
 	}
 	if capture != nil {
 		// Manifest lifecycle: mark the capture directory as running before
@@ -166,6 +186,18 @@ func main() {
 		slog.Info("audits done", "runs", len(reports), "failed", len(failed))
 		for _, r := range failed {
 			slog.Warn("audit failed", "run", r.Run, "summary", r.Summary())
+		}
+	}
+	if alertLog != nil {
+		reports := alertLog.Reports()
+		unhealthy := alertLog.Unhealthy()
+		criticals := 0
+		for _, r := range reports {
+			criticals += r.Criticals
+		}
+		slog.Info("alerts done", "runs", len(reports), "unhealthy", len(unhealthy), "criticals", criticals)
+		for _, r := range unhealthy {
+			slog.Warn("alerts unhealthy", "run", r.Run, "summary", r.Summary())
 		}
 	}
 	if err == nil && capture != nil {

@@ -3,14 +3,17 @@
 // files must parse through the obs package's own readers, the Prometheus
 // exposition must carry the engine counters and report zero dropped
 // events, every audit report must have passed, a checkpoints.jsonl must
-// carry an intact hash chain with monotone slot indices, and a
-// trace.json beside the capture must satisfy the trace-event format
-// rules. When the capture carries a manifest.json, the manifest must be
-// complete and honest: lifecycle status "complete", every inventoried
-// file present with matching size and SHA-256, every on-disk artifact
-// inventoried, and every run row consistent with the artifacts (event /
-// decision / probe / checkpoint counts, checkpoint-chain head, and the
-// run's serialized byte share). It prints a one-line inventory and exits
+// carry an intact hash chain with monotone slot indices, an
+// alerts.jsonl must parse with known rule kinds and severities in
+// per-run step order, and a trace.json beside the capture must satisfy
+// the trace-event format rules. When the capture carries a
+// manifest.json, the manifest must be complete and honest: lifecycle
+// status "complete", every inventoried file present with matching size
+// and SHA-256, every on-disk artifact inventoried, and every run row
+// consistent with the artifacts (event / decision / probe / checkpoint
+// counts, checkpoint-chain head, alert counts matching the health
+// verdict, and the run's serialized byte share). It prints a one-line
+// inventory and exits
 // non-zero on any violation; verify.sh's smoke tier drives it.
 //
 // Usage:
@@ -30,6 +33,7 @@ import (
 	"strings"
 
 	"heb/internal/obs"
+	"heb/internal/obs/alerts"
 )
 
 func main() {
@@ -149,6 +153,28 @@ func check(dir string, allowDrops bool) (string, []obs.RunManifest, error) {
 		}
 		inv += fmt.Sprintf(", %d checkpoints (chain intact)", len(records))
 	}
+	var alertEvs []alerts.Event
+	if af, err := os.Open(filepath.Join(dir, "alerts.jsonl")); err == nil {
+		alertEvs, err = alerts.ReadEvents(af)
+		af.Close()
+		if err != nil {
+			return "", nil, fmt.Errorf("alerts.jsonl: %w", err)
+		}
+		if len(alertEvs) == 0 {
+			return "", nil, fmt.Errorf("alerts.jsonl holds no events")
+		}
+		// Within a run, fired alerts must be in step order: the engine
+		// appends as the simulation advances.
+		last := make(map[string]float64)
+		for i, e := range alertEvs {
+			if t, seen := last[e.Run]; seen && e.Seconds < t {
+				return "", nil, fmt.Errorf("alerts.jsonl: event %d at t=%g precedes t=%g for run %s",
+					i, e.Seconds, t, e.Run)
+			}
+			last[e.Run] = e.Seconds
+		}
+		inv += fmt.Sprintf(", %d alert events", len(alertEvs))
+	}
 	if tf, err := os.Open(filepath.Join(dir, "trace.json")); err == nil {
 		events, rerr := obs.ReadChromeTrace(tf)
 		tf.Close()
@@ -161,7 +187,7 @@ func check(dir string, allowDrops bool) (string, []obs.RunManifest, error) {
 		inv += fmt.Sprintf(", %d trace events", len(events))
 	}
 
-	mline, runs, err := checkManifest(dir, evs, recs, samples, reports, records)
+	mline, runs, err := checkManifest(dir, evs, recs, samples, reports, records, alertEvs)
 	if err != nil {
 		return "", nil, fmt.Errorf("manifest.json: %w", err)
 	}
@@ -171,9 +197,10 @@ func check(dir string, allowDrops bool) (string, []obs.RunManifest, error) {
 // checkManifest validates the capture's manifest against the parsed
 // on-disk artifacts: lifecycle status, artifact inventory (presence,
 // size, SHA-256, completeness) and per-run consistency (record counts,
-// checkpoint-chain head, serialized byte share).
+// checkpoint-chain head, alert health verdict, serialized byte share).
 func checkManifest(dir string, evs []obs.Event, recs []obs.DecisionRecord,
-	samples []obs.ProbeSample, reports []obs.AuditReport, records []obs.CheckpointRecord) (string, []obs.RunManifest, error) {
+	samples []obs.ProbeSample, reports []obs.AuditReport, records []obs.CheckpointRecord,
+	alertEvs []alerts.Event) (string, []obs.RunManifest, error) {
 	m, err := obs.ReadManifest(dir)
 	if os.IsNotExist(err) {
 		return "no manifest (pre-manifest capture)", nil, nil
@@ -217,6 +244,7 @@ func checkManifest(dir string, evs []obs.Event, recs []obs.DecisionRecord,
 	// (the overwhelming majority) additionally pin the chain head.
 	type keyTotals struct {
 		rows, events, decisions, probes, checkpoints int
+		alertWarnings, alertCriticals                int
 		bytes                                        int64
 		head                                         string
 	}
@@ -224,6 +252,25 @@ func checkManifest(dir string, evs []obs.Event, recs []obs.DecisionRecord,
 	for _, rm := range m.Runs {
 		if rm.Status != obs.StatusComplete {
 			return "", nil, fmt.Errorf("run %s status %q in a complete capture", rm.ID, rm.Status)
+		}
+		// The health verdict must be honest about its own counts: critical
+		// iff criticals fired, warn iff only warnings fired, ok iff the
+		// rule engine ran clean, empty iff it was off.
+		s := rm.Summary
+		healthy := false
+		switch s.Health {
+		case "":
+			healthy = s.AlertWarnings == 0 && s.AlertCriticals == 0
+		case alerts.HealthOK:
+			healthy = s.AlertWarnings == 0 && s.AlertCriticals == 0
+		case alerts.HealthWarn:
+			healthy = s.AlertWarnings > 0 && s.AlertCriticals == 0
+		case alerts.HealthCritical:
+			healthy = s.AlertCriticals > 0
+		}
+		if !healthy {
+			return "", nil, fmt.Errorf("run %s: health %q inconsistent with %d warnings, %d criticals",
+				rm.ID, s.Health, s.AlertWarnings, s.AlertCriticals)
 		}
 		kt := byKey[rm.Key]
 		if kt == nil {
@@ -235,6 +282,8 @@ func checkManifest(dir string, evs []obs.Event, recs []obs.DecisionRecord,
 		kt.decisions += rm.Summary.Decisions
 		kt.probes += rm.Summary.Probes
 		kt.checkpoints += rm.Checkpoints
+		kt.alertWarnings += rm.Summary.AlertWarnings
+		kt.alertCriticals += rm.Summary.AlertCriticals
 		kt.bytes += rm.Bytes
 		kt.head = rm.CheckpointHead
 	}
@@ -285,7 +334,32 @@ func checkManifest(dir string, evs []obs.Event, recs []obs.DecisionRecord,
 			return "", nil, fmt.Errorf("run %s: checkpoint chain head %s, manifest says %s",
 				key, runCkpts[n-1].Hash, kt.head)
 		}
-		if got := runBytes(runEvs, runRecs, runProbes, runAudits, runCkpts); got != kt.bytes {
+		var runAlerts []alerts.Event
+		warnsDisk, critsDisk := 0, 0
+		for _, e := range alertEvs {
+			if e.Run != key {
+				continue
+			}
+			runAlerts = append(runAlerts, e)
+			switch e.Severity {
+			case alerts.SeverityWarn:
+				warnsDisk++
+			case alerts.SeverityCritical:
+				critsDisk++
+			}
+		}
+		// Past the per-engine storage cap fired alerts are counted but not
+		// recorded, so exact equality only binds uncapped runs.
+		if kt.alertWarnings+kt.alertCriticals <= alerts.EventCap*kt.rows {
+			if warnsDisk != kt.alertWarnings || critsDisk != kt.alertCriticals {
+				return "", nil, fmt.Errorf("run %s: %d warn + %d critical alerts on disk, manifest says %d + %d",
+					key, warnsDisk, critsDisk, kt.alertWarnings, kt.alertCriticals)
+			}
+		} else if warnsDisk > kt.alertWarnings || critsDisk > kt.alertCriticals {
+			return "", nil, fmt.Errorf("run %s: more alerts on disk (%d warn, %d critical) than the manifest admits (%d, %d)",
+				key, warnsDisk, critsDisk, kt.alertWarnings, kt.alertCriticals)
+		}
+		if got := runBytes(runEvs, runRecs, runProbes, runAudits, runCkpts, runAlerts); got != kt.bytes {
 			return "", nil, fmt.Errorf("run %s: artifacts serialize to %d bytes, manifest says %d", key, got, kt.bytes)
 		}
 	}
@@ -295,13 +369,14 @@ func checkManifest(dir string, evs []obs.Event, recs []obs.DecisionRecord,
 // runBytes recomputes a run's JSONL byte share the same way the capture
 // accounted it.
 func runBytes(evs []obs.Event, recs []obs.DecisionRecord, samples []obs.ProbeSample,
-	reports []obs.AuditReport, records []obs.CheckpointRecord) int64 {
+	reports []obs.AuditReport, records []obs.CheckpointRecord, alertEvs []alerts.Event) int64 {
 	var buf bytes.Buffer
 	_ = obs.WriteEventsJSONL(&buf, evs)
 	_ = obs.WriteDecisionsJSONL(&buf, recs)
 	_ = obs.WriteProbesJSONL(&buf, samples)
 	_ = obs.WriteCheckpointsJSONL(&buf, records)
 	_ = obs.WriteAuditsJSONL(&buf, reports)
+	_ = alerts.WriteEventsJSONL(&buf, alertEvs)
 	return int64(buf.Len())
 }
 

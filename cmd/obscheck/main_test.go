@@ -9,9 +9,12 @@ import (
 
 	"heb"
 	"heb/internal/obs"
+	"heb/internal/obs/alerts"
 )
 
-// writeCapture records one real HEB-D run (probes + audit on) into dir.
+// writeCapture records one real HEB-D run (probes + audit + alerts on)
+// into dir. The tight SoC ceiling guarantees the rule engine fires, so
+// the capture always carries an alerts.jsonl to validate.
 func writeCapture(t *testing.T, dir string) {
 	t.Helper()
 	p := heb.DefaultPrototype()
@@ -19,6 +22,8 @@ func writeCapture(t *testing.T, dir string) {
 	p.Capture.SetLabel("obscheck-test")
 	p.ProbeEvery = 300
 	p.Audit = obs.AuditModeReport
+	p.Alert = alerts.ModeReport
+	p.AlertRules = alerts.Rules{SoCCeiling: 0.5}
 	wl, err := heb.WorkloadNamed("PR")
 	if err != nil {
 		t.Fatal(err)
@@ -111,6 +116,80 @@ func TestCheckRejectsUninventoriedArtifact(t *testing.T) {
 	_, _, err = check(dir, false)
 	if err == nil || !strings.Contains(err.Error(), "missing from the inventory") {
 		t.Fatalf("uninventoried artifact accepted: %v", err)
+	}
+}
+
+func TestCheckAcceptsAlertedCapture(t *testing.T) {
+	dir := t.TempDir()
+	writeCapture(t, dir)
+	if _, err := os.Stat(filepath.Join(dir, "alerts.jsonl")); err != nil {
+		t.Fatalf("capture wrote no alerts.jsonl: %v", err)
+	}
+	inv, runs, err := check(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(inv, "alert events") {
+		t.Errorf("inventory missing alert events: %q", inv)
+	}
+	if len(runs) != 1 || runs[0].Summary.Health != alerts.HealthWarn || runs[0].Summary.AlertWarnings == 0 {
+		t.Fatalf("run rows = %+v, want one with warn health", runs)
+	}
+}
+
+func TestCheckRejectsCorruptAlerts(t *testing.T) {
+	dir := t.TempDir()
+	writeCapture(t, dir)
+	// Drop the manifest so the artifact-hash check cannot fire first; the
+	// corruption must be caught by the alerts.jsonl reader itself.
+	if err := os.Remove(filepath.Join(dir, obs.ManifestName)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "alerts.jsonl")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(raw, `{"t":0,"kind":"no_such_rule","severity":"warn"}`+"\n"...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = check(dir, false)
+	if err == nil || !strings.Contains(err.Error(), "alerts.jsonl") {
+		t.Fatalf("corrupt alerts.jsonl accepted: %v", err)
+	}
+}
+
+func TestCheckRejectsDishonestHealth(t *testing.T) {
+	dir := t.TempDir()
+	writeCapture(t, dir)
+	m, err := obs.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Runs[0].Summary.Health = alerts.HealthOK // warnings fired, verdict says clean
+	if err := obs.WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = check(dir, false)
+	if err == nil || !strings.Contains(err.Error(), "inconsistent with") {
+		t.Fatalf("dishonest health verdict accepted: %v", err)
+	}
+}
+
+func TestCheckRejectsWrongAlertCounts(t *testing.T) {
+	dir := t.TempDir()
+	writeCapture(t, dir)
+	m, err := obs.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Runs[0].Summary.AlertWarnings++
+	if err := obs.WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = check(dir, false)
+	if err == nil || !strings.Contains(err.Error(), "alerts on disk") {
+		t.Fatalf("wrong alert count accepted: %v", err)
 	}
 }
 

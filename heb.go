@@ -18,6 +18,7 @@ import (
 	"heb/internal/esd"
 	"heb/internal/forecast"
 	"heb/internal/obs"
+	"heb/internal/obs/alerts"
 	"heb/internal/pat"
 	"heb/internal/power"
 	"heb/internal/runner"
@@ -156,6 +157,21 @@ type Prototype struct {
 	// Audits, when set, collects every run's AuditReport (thread-safe, so
 	// one collector may serve a parallel sweep).
 	Audits *obs.AuditLog
+
+	// Alert selects the online SLO rule engine mode. alerts.ModeReport
+	// evaluates the rules on every step, attaches fired alerts to the
+	// Capture's alerts.jsonl and stamps a per-run health verdict
+	// (ok/warn/critical) into the manifest; alerts.ModeStrict
+	// additionally aborts a run once a critical alert has fired and
+	// surfaces it as an error from Run.
+	Alert alerts.Mode
+	// AlertRules overrides the rule thresholds; the zero value selects
+	// alerts.DefaultRules (a zero field keeps that rule's default, a
+	// negative one disables the rule).
+	AlertRules alerts.Rules
+	// Alerts, when set, collects every run's alert report (thread-safe,
+	// so one collector may serve a parallel sweep).
+	Alerts *alerts.Log
 
 	// Tracer, when set, records each run's span hierarchy (run → slot
 	// plan/finish → step batches) on a fresh per-run track named by the
@@ -414,8 +430,8 @@ type RunOptions struct {
 	// The prototype and options must otherwise describe the same run that
 	// recorded the chain; mismatches surface as restore errors. Resume
 	// composes with Capture, probes and event sinks, but not with the
-	// Tracer or the energy auditor (their per-step state is not
-	// checkpointed).
+	// Tracer, the energy auditor or the alert engine (their per-step
+	// state is not checkpointed).
 	ResumeCheckpoints []obs.CheckpointRecord
 	// MaxSteps, when positive, stops the engine after the given number of
 	// executed steps without end-of-run bookkeeping — the substrate of
@@ -496,16 +512,21 @@ func (p Prototype) Run(id SchemeID, workload Workload, opts RunOptions) (sim.Res
 		probes = obs.NewProbeRecorder(p.ProbeRing)
 	}
 	auditor := obs.NewAuditor(p.Audit, 0)
+	alerter := alerts.NewEngine(p.Alert, p.AlertRules)
 
 	if len(opts.ResumeCheckpoints) > 0 {
-		// The tracer's span clock and the auditor's per-step ledger are
-		// not part of the checkpoint; resuming under either would record
-		// state that silently disagrees with an uninterrupted run.
+		// The tracer's span clock and the auditor's and alert engine's
+		// per-step state are not part of the checkpoint; resuming under
+		// any of them would record state that silently disagrees with an
+		// uninterrupted run.
 		if p.Tracer != nil {
 			return sim.Result{}, fmt.Errorf("heb: resume does not compose with the span tracer")
 		}
 		if auditor != nil {
 			return sim.Result{}, fmt.Errorf("heb: resume does not compose with the energy auditor")
+		}
+		if alerter != nil {
+			return sim.Result{}, fmt.Errorf("heb: resume does not compose with the alert engine")
 		}
 		if err := obs.ValidateCheckpoints(opts.ResumeCheckpoints); err != nil {
 			return sim.Result{}, fmt.Errorf("heb: resume chain: %w", err)
@@ -542,6 +563,9 @@ func (p Prototype) Run(id SchemeID, workload Workload, opts RunOptions) (sim.Res
 				panic(fmt.Sprintf("heb: marshal checkpoint: %v", err))
 			}
 			rec := ckptLog.Append(slot, step, now.Seconds(), raw)
+			if alerter != nil {
+				alerter.ObserveCheckpoint(now.Seconds(), rec.Prev, rec.Hash)
+			}
 			if sink != nil {
 				sink(rec)
 			}
@@ -632,6 +656,7 @@ func (p Prototype) Run(id SchemeID, workload Workload, opts RunOptions) (sim.Res
 		Probes:          probes,
 		ProbeEvery:      p.ProbeEvery,
 		Audit:           auditor,
+		Alerts:          alerter,
 		Spans:           span,
 		MaxSteps:        opts.MaxSteps,
 		CheckpointEvery: p.CheckpointEvery,
@@ -686,6 +711,14 @@ func (p Prototype) Run(id SchemeID, workload Workload, opts RunOptions) (sim.Res
 			p.Audits.Add(key, audit)
 		}
 	}
+	var alertReport alerts.Report
+	if alerter != nil {
+		alertReport = alerter.Report()
+		alertReport.Run = key
+		if p.Alerts != nil {
+			p.Alerts.Add(key, alertReport)
+		}
+	}
 	if p.Capture != nil {
 		artifact := obs.RunArtifact{
 			Key:           key,
@@ -715,6 +748,10 @@ func (p Prototype) Run(id SchemeID, workload Workload, opts RunOptions) (sim.Res
 		if auditor != nil {
 			artifact.Audit = &audit
 		}
+		if alerter != nil {
+			artifact.AlertEvents = alerter.Events()
+			artifact.Alerts = &alertReport
+		}
 		for src, n := range res.RelaySwitches {
 			if n > 0 {
 				artifact.RelaySwitches[power.Source(src).String()] = n
@@ -729,6 +766,9 @@ func (p Prototype) Run(id SchemeID, workload Workload, opts RunOptions) (sim.Res
 	}
 	if auditor.Strict() && !audit.Passed {
 		return res, fmt.Errorf("heb: energy audit failed for %s: %s", key, audit.Summary())
+	}
+	if alerter.Strict() && alerter.Violated() {
+		return res, fmt.Errorf("heb: alert SLOs failed for %s: %s", key, alertReport.Summary())
 	}
 	return res, nil
 }
@@ -755,6 +795,7 @@ func (p Prototype) runKey(id SchemeID, workload Workload, duration time.Duration
 	q.Capture = nil
 	q.Progress = nil
 	q.Audits = nil
+	q.Alerts = nil
 	q.Tracer = nil
 	fmt.Fprintf(h, "%+v", q)
 	fmt.Fprintf(h, "|%T|%T|table=%v", opts.PeakPredictor, opts.ValleyPredictor, opts.Table != nil)

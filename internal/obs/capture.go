@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"heb/internal/obs/alerts"
 )
 
 // RunArtifact is one run's contribution to a capture: its events and
@@ -38,6 +40,12 @@ type RunArtifact struct {
 	// Checkpoints holds the run's hash-chained flight-recorder records
 	// (checkpoints.jsonl), empty when checkpointing was off.
 	Checkpoints []CheckpointRecord
+	// AlertEvents holds the run's fired SLO alerts (alerts.jsonl), empty
+	// when the rule engine was off or quiet.
+	AlertEvents []alerts.Event
+	// Alerts is the run's alert report and health verdict, nil when the
+	// rule engine was off.
+	Alerts *alerts.Report
 	// Metrics carries the run's headline result scalars (energy
 	// efficiency, downtime, battery lifetime, ...) for the manifest's
 	// summary and cross-run comparison.
@@ -119,6 +127,14 @@ func (c *Capture) Contribute(a RunArtifact) {
 			a.Checkpoints[i].Run = a.Key
 		}
 	}
+	for i := range a.AlertEvents {
+		if a.AlertEvents[i].Run == "" {
+			a.AlertEvents[i].Run = a.Key
+		}
+	}
+	if a.Alerts != nil && a.Alerts.Run == "" {
+		a.Alerts.Run = a.Key
+	}
 	c.mu.Lock()
 	c.runs = append(c.runs, a)
 	c.mu.Unlock()
@@ -180,6 +196,13 @@ func artifactFingerprint(a RunArtifact) string {
 		// The chain hash already covers slot, step, time and state.
 		fmt.Fprintf(&sb, "|%s", r.Hash)
 	}
+	if a.Alerts != nil {
+		fmt.Fprintf(&sb, "|alerts=%s:%d:%d:%d:%s", a.Alerts.Mode,
+			a.Alerts.Events, a.Alerts.Warnings, a.Alerts.Criticals, a.Alerts.Health)
+	}
+	for _, e := range a.AlertEvents {
+		fmt.Fprintf(&sb, "|%g:%s:%s:%s:%g:%g", e.Seconds, e.Kind, e.Severity, e.Device, e.Value, e.Limit)
+	}
 	for _, k := range sortedMetricKeys(a.Metrics) {
 		fmt.Fprintf(&sb, "|%s=%g", k, a.Metrics[k])
 	}
@@ -232,6 +255,14 @@ func (c *Capture) Registry() *Registry {
 				Label{Name: "passed", Value: fmt.Sprintf("%v", a.Audit.Passed)}).Add(1)
 			reg.Counter("heb_audit_violations_total", "Audit violations flagged.").Add(float64(a.Audit.Violations))
 		}
+		if a.Alerts != nil {
+			reg.Counter("heb_alert_runs_total", "Alerted runs by health verdict.",
+				Label{Name: "health", Value: a.Alerts.Health}).Add(1)
+			reg.Counter("heb_alert_events_total", "Fired SLO alerts by severity.",
+				Label{Name: "severity", Value: alerts.SeverityWarn.String()}).Add(float64(a.Alerts.Warnings))
+			reg.Counter("heb_alert_events_total", "Fired SLO alerts by severity.",
+				Label{Name: "severity", Value: alerts.SeverityCritical.String()}).Add(float64(a.Alerts.Criticals))
+		}
 	}
 	return reg
 }
@@ -245,9 +276,10 @@ func countKinds(events []Event) map[EventKind]int {
 }
 
 // WriteFiles writes events.jsonl, decisions.jsonl and metrics.prom into
-// dir, creating it if needed; probes.jsonl, audits.jsonl and
-// checkpoints.jsonl follow whenever any run contributed probe samples, an
-// audit report or flight-recorder checkpoints. A manifest.json indexing
+// dir, creating it if needed; probes.jsonl, audits.jsonl,
+// checkpoints.jsonl and alerts.jsonl follow whenever any run contributed
+// probe samples, an audit report, flight-recorder checkpoints or fired
+// alerts. A manifest.json indexing
 // the runs and inventorying the written files (sizes + SHA-256) is
 // installed atomically last, with status complete. Output depends only on
 // the contributed artifacts, never on contribution order.
@@ -262,6 +294,7 @@ func (c *Capture) WriteFiles(dir string) error {
 	var probes []ProbeSample
 	var audits []AuditReport
 	var checkpoints []CheckpointRecord
+	var alertEvents []alerts.Event
 	for _, a := range runs {
 		events = append(events, a.Events...)
 		decisions = append(decisions, a.Decisions...)
@@ -270,6 +303,7 @@ func (c *Capture) WriteFiles(dir string) error {
 			audits = append(audits, *a.Audit)
 		}
 		checkpoints = append(checkpoints, a.Checkpoints...)
+		alertEvents = append(alertEvents, a.AlertEvents...)
 	}
 
 	if err := writeTo(filepath.Join(dir, "events.jsonl"), func(f *os.File) error {
@@ -303,6 +337,13 @@ func (c *Capture) WriteFiles(dir string) error {
 			return err
 		}
 	}
+	if len(alertEvents) > 0 {
+		if err := writeTo(filepath.Join(dir, "alerts.jsonl"), func(f *os.File) error {
+			return alerts.WriteEventsJSONL(f, alertEvents)
+		}); err != nil {
+			return err
+		}
+	}
 	if err := writeTo(filepath.Join(dir, "metrics.prom"), func(f *os.File) error {
 		return c.Registry().WritePrometheus(f)
 	}); err != nil {
@@ -322,7 +363,7 @@ func (c *Capture) WriteFiles(dir string) error {
 // inventory, in inventory order.
 var ArtifactNames = []string{
 	"events.jsonl", "decisions.jsonl", "metrics.prom",
-	"probes.jsonl", "audits.jsonl", "checkpoints.jsonl",
+	"probes.jsonl", "audits.jsonl", "checkpoints.jsonl", "alerts.jsonl",
 }
 
 func writeTo(path string, fn func(*os.File) error) error {

@@ -43,6 +43,9 @@ const (
 	// EventPATMiss records a slot plan served by similarity fallback (or
 	// an empty table).
 	EventPATMiss
+	// EventAlert records an SLO rule firing (internal/obs/alerts); Detail
+	// carries "kind/severity" and Watts the observed value.
+	EventAlert
 
 	numEventKinds // sentinel
 )
@@ -50,6 +53,7 @@ const (
 var eventKindNames = [numEventKinds]string{
 	"run_start", "run_end", "relay_switch", "shed", "restore", "handoff",
 	"charge_mode_change", "mismatch_begin", "mismatch_end", "pat_hit", "pat_miss",
+	"alert",
 }
 
 // String names the kind as it appears in JSONL.

@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"heb/internal/obs/alerts"
 )
 
 // ManifestVersion is the schema version stamped into every manifest; a
@@ -101,6 +103,12 @@ type RunSummary struct {
 	PATMisses     int64 `json:"pat_misses,omitempty"`
 	// AuditPassed is nil when the run was not audited.
 	AuditPassed *bool `json:"audit_passed,omitempty"`
+	// Health is the alert engine's per-run verdict (ok, warn or
+	// critical), empty when the rule engine was off; AlertWarnings and
+	// AlertCriticals split its fired alerts by severity.
+	Health         string `json:"health,omitempty"`
+	AlertWarnings  int    `json:"alert_warnings,omitempty"`
+	AlertCriticals int    `json:"alert_criticals,omitempty"`
 	// Metrics carries the run's headline result scalars (energy
 	// efficiency, downtime, battery lifetime, ...). encoding/json sorts
 	// map keys, so the serialized form stays deterministic.
@@ -199,6 +207,11 @@ func runManifest(a RunArtifact, fingerprint string) RunManifest {
 		passed := a.Audit.Passed
 		rm.Summary.AuditPassed = &passed
 	}
+	if a.Alerts != nil {
+		rm.Summary.Health = a.Alerts.Health
+		rm.Summary.AlertWarnings = a.Alerts.Warnings
+		rm.Summary.AlertCriticals = a.Alerts.Criticals
+	}
 	if n := len(a.Checkpoints); n > 0 {
 		rm.Checkpoints = n
 		rm.CheckpointHead = a.Checkpoints[n-1].Hash
@@ -213,6 +226,7 @@ func runManifest(a RunArtifact, fingerprint string) RunManifest {
 	if a.Audit != nil {
 		_ = WriteAuditsJSONL(&cw, []AuditReport{*a.Audit})
 	}
+	_ = alerts.WriteEventsJSONL(&cw, a.AlertEvents)
 	rm.Bytes = cw.n
 	return rm
 }

@@ -1,0 +1,121 @@
+package baseline
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %g", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("even median = %g", m)
+	}
+	if m := Median(nil); !math.IsNaN(m) {
+		t.Errorf("empty median = %g", m)
+	}
+	// Median must not mutate its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Median reordered its input")
+	}
+}
+
+func TestMAD(t *testing.T) {
+	xs := []float64{1, 1, 2, 2, 4, 6, 9}
+	med := Median(xs) // 2
+	if mad := MAD(xs, med); mad != 1 {
+		t.Errorf("MAD = %g, want 1", mad)
+	}
+	if mad := MAD([]float64{5, 5, 5}, 5); mad != 0 {
+		t.Errorf("constant MAD = %g", mad)
+	}
+}
+
+func TestComputeWindow(t *testing.T) {
+	vals := []float64{100, 100, 100, 1, 2, 3, 4, 5}
+	st := Compute(vals, Window{MaxN: 5})
+	if st.N != 5 || st.Median != 3 {
+		t.Errorf("windowed stats = %+v", st)
+	}
+	full := Compute(vals, Window{})
+	if full.N != 8 {
+		t.Errorf("unwindowed N = %d", full.N)
+	}
+}
+
+func TestZDegeneratePopulation(t *testing.T) {
+	st := Stats{N: 10, Median: 5, MAD: 0}
+	if z := st.Z(5); z != 0 {
+		t.Errorf("on-median z = %g", z)
+	}
+	if z := st.Z(6); z != MaxZ {
+		t.Errorf("above-median z = %g, want %g", z, MaxZ)
+	}
+	if z := st.Z(4); z != -MaxZ {
+		t.Errorf("below-median z = %g, want %g", z, -MaxZ)
+	}
+	// A tiny-but-nonzero MAD must also saturate rather than overflow:
+	// the score has to survive encoding/json on the API wire forms.
+	st.MAD = 5e-324
+	if z := st.Z(6); z != MaxZ || math.IsInf(z, 0) {
+		t.Errorf("tiny-MAD z = %g, want %g", z, MaxZ)
+	}
+	if b, err := json.Marshal(Score{Value: 6, Stats: st, Z: st.Z(6)}); err != nil {
+		t.Errorf("saturated score does not marshal: %v", err)
+	} else if !strings.Contains(string(b), `"z":1000000`) {
+		t.Errorf("marshaled score = %s", b)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	for _, tc := range []struct {
+		z    float64
+		want string
+	}{
+		{0, VerdictOK}, {3.4, VerdictOK}, {-3.4, VerdictOK},
+		{3.5, VerdictWarn}, {-5, VerdictWarn},
+		{8, VerdictCritical}, {math.Inf(1), VerdictCritical}, {math.Inf(-1), VerdictCritical},
+	} {
+		if got := Classify(tc.z); got != tc.want {
+			t.Errorf("Classify(%g) = %q, want %q", tc.z, got, tc.want)
+		}
+	}
+}
+
+func TestScoreValue(t *testing.T) {
+	cohort := []float64{10, 10.1, 9.9, 10.05, 9.95, 10}
+	if sc := ScoreValue(10.02, cohort, Window{}); sc.Verdict != VerdictOK {
+		t.Errorf("in-family value scored %+v", sc)
+	}
+	if sc := ScoreValue(25, cohort, Window{}); sc.Verdict != VerdictCritical {
+		t.Errorf("far outlier scored %+v", sc)
+	}
+	// Below the minimum cohort nothing is judged.
+	if sc := ScoreValue(25, []float64{10, 10, 10}, Window{}); sc.Verdict != VerdictNoBaseline || sc.Z != 0 {
+		t.Errorf("tiny cohort scored %+v", sc)
+	}
+	// MinN override admits smaller cohorts.
+	if sc := ScoreValue(25, []float64{10, 10, 10}, Window{MinN: 3}); sc.Verdict != VerdictCritical {
+		t.Errorf("MinN override scored %+v", sc)
+	}
+}
+
+func TestWorst(t *testing.T) {
+	if v := Worst(); v != VerdictNoBaseline {
+		t.Errorf("empty worst = %q", v)
+	}
+	if v := Worst(VerdictOK, VerdictNoBaseline); v != VerdictOK {
+		t.Errorf("ok+no_baseline = %q", v)
+	}
+	if v := Worst(VerdictOK, VerdictWarn, VerdictOK); v != VerdictWarn {
+		t.Errorf("warn mix = %q", v)
+	}
+	if v := Worst(VerdictWarn, VerdictCritical); v != VerdictCritical {
+		t.Errorf("critical mix = %q", v)
+	}
+}

@@ -1,0 +1,98 @@
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"heb/internal/obs"
+	"heb/internal/obs/alerts"
+	"heb/internal/obs/registry/baseline"
+)
+
+// MetricScore is one headline metric classified against its cohort.
+type MetricScore struct {
+	Name string `json:"name"`
+	baseline.Score
+}
+
+// RunScore classifies one run against its (scheme, workload) cohort:
+// every headline metric gets a robust z-score against the cohort
+// population, and the overall verdict folds in the run's own alert
+// health verdict (a run can be statistically unremarkable and still
+// critical because its SLO rules fired).
+type RunScore struct {
+	Run Run `json:"run"`
+	// Cohort is the population size the metrics were scored against
+	// (complete runs sharing scheme and workload, deduplicated by ID,
+	// the scored run included).
+	Cohort int `json:"cohort"`
+	// Metrics lists the per-metric scores sorted by name.
+	Metrics []MetricScore `json:"metrics,omitempty"`
+	// Health echoes the run's alert health verdict (empty when the rule
+	// engine was off).
+	Health string `json:"health,omitempty"`
+	// Verdict is the overall classification: the worst metric verdict,
+	// escalated by the alert health (warn/critical), or no_baseline
+	// when the cohort is too small to judge and no alert fired.
+	Verdict string `json:"verdict"`
+}
+
+// Score classifies the identified run against its fleet cohort. The
+// cohort is every complete, non-placeholder run in the registry with the
+// same scheme and workload (deduplicated by run ID, in registry order),
+// so the result is deterministic for any scan or worker count.
+func (r *Registry) Score(id string, w baseline.Window) (RunScore, error) {
+	run, ok := r.Find(id)
+	if !ok {
+		return RunScore{}, fmt.Errorf("registry: unknown run %q", id)
+	}
+	if run.Key == "" {
+		return RunScore{}, fmt.Errorf("registry: cannot score an in-flight capture placeholder")
+	}
+	cohort := r.cohort(run)
+	sc := RunScore{Run: run, Cohort: len(cohort), Health: run.Summary.Health}
+
+	names := make([]string, 0, len(run.Summary.Metrics))
+	for name := range run.Summary.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	verdicts := make([]string, 0, len(names)+1)
+	for _, name := range names {
+		values := make([]float64, 0, len(cohort))
+		for _, c := range cohort {
+			if v, ok := c.Summary.Metrics[name]; ok {
+				values = append(values, v)
+			}
+		}
+		ms := MetricScore{Name: name, Score: baseline.ScoreValue(run.Summary.Metrics[name], values, w)}
+		sc.Metrics = append(sc.Metrics, ms)
+		verdicts = append(verdicts, ms.Verdict)
+	}
+
+	sc.Verdict = baseline.Worst(verdicts...)
+	// SLO health escalates: a run whose rules fired is never "ok".
+	switch run.Summary.Health {
+	case alerts.HealthCritical:
+		sc.Verdict = baseline.VerdictCritical
+	case alerts.HealthWarn:
+		sc.Verdict = baseline.Worst(sc.Verdict, baseline.VerdictWarn)
+	}
+	return sc, nil
+}
+
+// cohort returns the scored run's population: complete, non-placeholder
+// runs sharing scheme and workload, deduplicated by ID, in registry
+// order.
+func (r *Registry) cohort(run Run) []Run {
+	seen := map[string]bool{}
+	var out []Run
+	for _, c := range r.Runs(Filter{Scheme: run.Scheme, Workload: run.Workload, Status: obs.StatusComplete}) {
+		if c.Key == "" || seen[c.ID] {
+			continue
+		}
+		seen[c.ID] = true
+		out = append(out, c)
+	}
+	return out
+}

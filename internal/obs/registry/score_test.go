@@ -1,0 +1,306 @@
+package registry
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"heb/internal/obs"
+	"heb/internal/obs/alerts"
+	"heb/internal/obs/registry/baseline"
+)
+
+// metricArtifact builds a synthetic complete run with a chosen
+// energy-efficiency value (and optionally an alert health verdict).
+func metricArtifact(scheme string, seed int64, eff float64, health string) obs.RunArtifact {
+	a := artifact(scheme, seed)
+	a.Metrics["energy_efficiency"] = eff
+	if health != "" {
+		warns, crits := 0, 0
+		switch health {
+		case alerts.HealthWarn:
+			warns = 1
+		case alerts.HealthCritical:
+			crits = 1
+		}
+		a.Alerts = &alerts.Report{Mode: "report", Events: warns + crits,
+			Warnings: warns, Criticals: crits, Health: health}
+	}
+	return a
+}
+
+func TestScoreFlagsOutlier(t *testing.T) {
+	root := t.TempDir()
+	arts := []obs.RunArtifact{
+		metricArtifact("HEB-D", 1, 0.81, ""),
+		metricArtifact("HEB-D", 2, 0.82, ""),
+		metricArtifact("HEB-D", 3, 0.83, ""),
+		metricArtifact("HEB-D", 4, 0.84, ""),
+		metricArtifact("HEB-D", 5, 0.85, ""),
+		metricArtifact("HEB-D", 6, 5.0, ""), // the outlier
+	}
+	m := writeCapture(t, filepath.Join(root, "sweep"), "all", arts...)
+	r := New(root)
+	if err := r.Scan(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Manifest rows are in capture order (sorted by key), so find by key.
+	idOf := func(seed int64) string {
+		key := arts[seed-1].Key
+		for _, rm := range m.Runs {
+			if rm.Key == key {
+				return rm.ID
+			}
+		}
+		t.Fatalf("run for seed %d not in manifest", seed)
+		return ""
+	}
+
+	sc, err := r.Score(idOf(6), baseline.Window{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Cohort != 6 {
+		t.Fatalf("cohort = %d, want 6", sc.Cohort)
+	}
+	if sc.Verdict != baseline.VerdictCritical {
+		t.Fatalf("outlier verdict = %q: %+v", sc.Verdict, sc)
+	}
+	var effScore *MetricScore
+	for i := range sc.Metrics {
+		if sc.Metrics[i].Name == "energy_efficiency" {
+			effScore = &sc.Metrics[i]
+		}
+	}
+	if effScore == nil || effScore.Verdict != baseline.VerdictCritical || effScore.Z < baseline.CriticalZ {
+		t.Fatalf("energy_efficiency score = %+v", effScore)
+	}
+
+	ok, err := r.Score(idOf(3), baseline.Window{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok.Verdict != baseline.VerdictOK {
+		t.Fatalf("in-family verdict = %q: %+v", ok.Verdict, ok)
+	}
+}
+
+func TestScoreHealthEscalates(t *testing.T) {
+	root := t.TempDir()
+	arts := []obs.RunArtifact{
+		metricArtifact("HEB-D", 1, 0.81, ""),
+		metricArtifact("HEB-D", 2, 0.82, ""),
+		metricArtifact("HEB-D", 3, 0.83, alerts.HealthCritical),
+		metricArtifact("HEB-D", 4, 0.84, alerts.HealthWarn),
+		metricArtifact("HEB-D", 5, 0.85, ""),
+	}
+	m := writeCapture(t, filepath.Join(root, "sweep"), "all", arts...)
+	r := New(root)
+	if err := r.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	find := func(key string) obs.RunManifest {
+		for _, rm := range m.Runs {
+			if rm.Key == key {
+				return rm
+			}
+		}
+		t.Fatalf("key %q not in manifest", key)
+		return obs.RunManifest{}
+	}
+
+	critRow := find(arts[2].Key)
+	if critRow.Summary.Health != alerts.HealthCritical || critRow.Summary.AlertCriticals != 1 {
+		t.Fatalf("manifest health row = %+v", critRow.Summary)
+	}
+	sc, err := r.Score(critRow.ID, baseline.Window{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Verdict != baseline.VerdictCritical || sc.Health != alerts.HealthCritical {
+		t.Fatalf("critical-health run scored %+v", sc)
+	}
+	warn, err := r.Score(find(arts[3].Key).ID, baseline.Window{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warn.Verdict != baseline.VerdictWarn {
+		t.Fatalf("warn-health run scored %+v", warn)
+	}
+}
+
+func TestScoreSmallCohortAndErrors(t *testing.T) {
+	root := t.TempDir()
+	m := writeCapture(t, filepath.Join(root, "sweep"), "all",
+		metricArtifact("HEB-D", 1, 0.81, ""), metricArtifact("HEB-D", 2, 0.82, ""))
+	if err := obs.StartManifest(filepath.Join(root, "live"), "run"); err != nil {
+		t.Fatal(err)
+	}
+	r := New(root)
+	if err := r.Scan(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc, err := r.Score(m.Runs[0].ID, baseline.Window{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Verdict != baseline.VerdictNoBaseline || sc.Cohort != 2 {
+		t.Fatalf("tiny cohort scored %+v", sc)
+	}
+
+	if _, err := r.Score("nope", baseline.Window{}); err == nil {
+		t.Fatal("unknown run scored")
+	}
+	ph := r.Runs(Filter{Status: obs.StatusRunning})
+	if len(ph) != 1 {
+		t.Fatalf("placeholders = %+v", ph)
+	}
+	if _, err := r.Score(ph[0].ID, baseline.Window{}); err == nil {
+		t.Fatal("placeholder scored")
+	}
+}
+
+func TestScoreDeterministicAcrossDuplicateCaptures(t *testing.T) {
+	root := t.TempDir()
+	arts := []obs.RunArtifact{
+		metricArtifact("HEB-D", 1, 0.81, ""),
+		metricArtifact("HEB-D", 2, 0.82, ""),
+		metricArtifact("HEB-D", 3, 0.83, ""),
+		metricArtifact("HEB-D", 4, 0.84, ""),
+	}
+	m := writeCapture(t, filepath.Join(root, "a"), "all", arts...)
+	// The same runs land in a second capture; dedup by ID must keep the
+	// cohort at 4, not 8.
+	writeCapture(t, filepath.Join(root, "b"), "all", arts...)
+	r := New(root)
+	if err := r.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := r.Score(m.Runs[0].ID, baseline.Window{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Cohort != 4 {
+		t.Fatalf("cohort = %d, want 4 after dedup", sc.Cohort)
+	}
+}
+
+// --- registry.Compare edge cases ---
+
+func TestCompareUnknownRun(t *testing.T) {
+	root := t.TempDir()
+	m := writeCapture(t, filepath.Join(root, "sweep"), "all", artifact("HEB-D", 1))
+	r := New(root)
+	if err := r.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Compare("missing", m.Runs[0].ID, 0); err == nil {
+		t.Fatal("unknown A side compared")
+	}
+	if _, err := r.Compare(m.Runs[0].ID, "missing", 0); err == nil {
+		t.Fatal("unknown B side compared")
+	}
+}
+
+func TestCompareDecisionsMissingOnDisk(t *testing.T) {
+	root := t.TempDir()
+	ma := writeCapture(t, filepath.Join(root, "a"), "run", artifact("HEB-D", 1))
+	mb := writeCapture(t, filepath.Join(root, "b"), "run", artifact("HEB-D", 3))
+	// Capture a's decision trace vanishes from disk; Compare must treat
+	// it as empty, not fail, and report b's slots as one-sided.
+	if err := os.Remove(filepath.Join(root, "a", "decisions.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+	r := New(root)
+	if err := r.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := r.Compare(ma.Runs[0].ID, mb.Runs[0].ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.DecisionDiffs != 2 {
+		t.Fatalf("decision diffs = %d, want 2 one-sided slots", cmp.DecisionDiffs)
+	}
+	for _, d := range cmp.DecisionSample {
+		if d.A != nil || d.B == nil {
+			t.Fatalf("one-sided delta has wrong sides: %+v", d)
+		}
+	}
+	// A corrupt trace is an error, not an empty trace.
+	corrupt(t, filepath.Join(root, "b", "decisions.jsonl"))
+	if _, err := r.Compare(ma.Runs[0].ID, mb.Runs[0].ID, 0); err == nil {
+		t.Fatal("corrupt decisions.jsonl compared cleanly")
+	}
+}
+
+func TestCompareKilledPlaceholderRejected(t *testing.T) {
+	root := t.TempDir()
+	m := writeCapture(t, filepath.Join(root, "sweep"), "all", artifact("HEB-D", 1))
+	dead := filepath.Join(root, "dead")
+	if err := obs.StartManifest(dead, "run"); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.SetManifestStatus(dead, obs.StatusKilled); err != nil {
+		t.Fatal(err)
+	}
+	r := New(root)
+	if err := r.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	ph := r.Runs(Filter{Status: obs.StatusKilled})
+	if len(ph) != 1 {
+		t.Fatalf("killed placeholders = %+v", ph)
+	}
+	if _, err := r.Compare(ph[0].ID, m.Runs[0].ID, 0); err == nil {
+		t.Fatal("killed placeholder compared")
+	}
+}
+
+func TestCompareToleranceBoundary(t *testing.T) {
+	root := t.TempDir()
+	// Seeds 1 and 3 share slot modes but differ by 0.2 in the slot-2
+	// ratio and by 0.02 in energy efficiency.
+	m := writeCapture(t, filepath.Join(root, "sweep"), "all",
+		artifact("HEB-D", 1), artifact("HEB-D", 3))
+	r := New(root)
+	if err := r.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	aID, bID := m.Runs[0].ID, m.Runs[1].ID
+
+	strictCmp, err := r.Compare(aID, bID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strictCmp.DecisionDiffs != 1 || len(strictCmp.SummaryDiffs) == 0 {
+		t.Fatalf("tol=0 compare = %d decision diffs, %d summary diffs",
+			strictCmp.DecisionDiffs, len(strictCmp.SummaryDiffs))
+	}
+
+	// Above the gap the tolerance swallows both the ratio and the metric
+	// difference in the structural diffs...
+	looseCmp, err := r.Compare(aID, bID, 0.21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if looseCmp.DecisionDiffs != 0 || len(looseCmp.SummaryDiffs) != 0 {
+		t.Fatalf("tol=0.21 compare = %d decision diffs, %+v summary diffs",
+			looseCmp.DecisionDiffs, looseCmp.SummaryDiffs)
+	}
+	// ...but the headline metric deltas stay exact by design.
+	if len(looseCmp.MetricDeltas) == 0 {
+		t.Fatal("metric deltas vanished under tolerance")
+	}
+
+	// Just below the gap the ratio difference still counts.
+	tightCmp, err := r.Compare(aID, bID, 0.19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tightCmp.DecisionDiffs != 1 {
+		t.Fatalf("tol=0.19 decision diffs = %d, want 1", tightCmp.DecisionDiffs)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"heb/internal/core"
 	"heb/internal/esd"
 	"heb/internal/obs"
+	"heb/internal/obs/alerts"
 	"heb/internal/power"
 	"heb/internal/trace"
 	"heb/internal/units"
@@ -129,6 +130,17 @@ type Config struct {
 	// bus ledger plus device bound and relay-exclusivity checks. With a
 	// strict auditor the run aborts at the first violation.
 	Audit *obs.Auditor
+
+	// Alerts, when set, runs the online SLO rule engine: per-step SoC
+	// floor/ceiling and DoD-excursion checks on every probed device, the
+	// mismatch-window clock, bus-ledger drift (sharing the auditor's
+	// ledger deltas), bus ramp rate, relay exclusivity, and an
+	// end-of-run battery wear-rate check. Fired alerts are bridged to
+	// Events as EventAlert. With a strict engine the run aborts once a
+	// critical alert has fired. A nil engine is the fast path: no
+	// observations are taken and the hot loop stays allocation-free
+	// (guarded by BenchmarkEngineAlertsDisabled).
+	Alerts *alerts.Engine
 
 	// Spans, when set, is the trace track this run records its span
 	// hierarchy on (run → slot plan/finish → step batches).
@@ -281,17 +293,26 @@ type Engine struct {
 	lruScratch      []int         // LRU id buffer for select/shed
 	ovSorter        overloadSorter
 
-	// Probe/audit state, built in Run only when cfg.Probes or cfg.Audit
-	// is set: the enumerated pool devices and the auditor's cumulative
-	// baselines for per-step delta measurement.
+	// Probe/audit/alert state, built in Run only when cfg.Probes,
+	// cfg.Audit or cfg.Alerts is set: the enumerated pool devices and
+	// the cumulative ledger baselines for per-step delta measurement.
 	probeTargets []probeTarget
 	ledger       ledgerState
+
+	// alertMismatchPrev is the alert engine's last-seen mismatchSteps
+	// count; comparing it per step detects in-mismatch ticks without the
+	// Events-gated inMismatch flag.
+	alertMismatchPrev int
 }
 
 // probeTarget is one probed storage device within a run.
 type probeTarget struct {
 	name string
 	dev  esd.Prober
+	// battery marks a battery-pool device. The SoC floor/ceiling and DoD
+	// alert rules scope to these: supercaps deep-cycle through their full
+	// window by design, so charge-protection SLOs only apply to batteries.
+	battery bool
 }
 
 // ledgerState holds the auditor's previous-step cumulative readings; the
@@ -419,11 +440,13 @@ func (e *Engine) Run() Result {
 		e.slotValleys = append(make([]float64, 0, nSlots), e.slotValleys...)
 	}
 
-	if cfg.Probes != nil || cfg.Audit != nil {
+	if cfg.Probes != nil || cfg.Audit != nil || cfg.Alerts != nil {
 		e.buildProbeTargets()
 	}
-	if cfg.Audit != nil {
+	if cfg.Audit != nil || cfg.Alerts != nil {
 		e.resetLedger()
+	}
+	if cfg.Audit != nil {
 		for _, t := range e.probeTargets {
 			s := t.dev.ProbeSnapshot()
 			cfg.Audit.StartDevice(t.name, s.EnergyInWh, s.EnergyOutWh, s.LossWh, s.StoredWh)
@@ -473,13 +496,23 @@ func (e *Engine) Run() Result {
 				batch = 0
 			}
 		}
-		if cfg.Audit != nil {
-			e.auditStep(now)
+		if cfg.Audit != nil || cfg.Alerts != nil {
+			inWh, outWh := e.ledgerStep()
+			if cfg.Audit != nil {
+				e.auditStep(now, inWh, outWh)
+			}
+			if cfg.Alerts != nil {
+				e.alertStep(now, inWh, outWh)
+			}
 		}
 		if cfg.Probes != nil && i%cfg.ProbeEvery == 0 {
 			e.recordProbes(now)
 		}
 		if cfg.Audit != nil && cfg.Audit.Strict() && cfg.Audit.Violated() {
+			aborted = true
+			break
+		}
+		if cfg.Alerts != nil && cfg.Alerts.Strict() && cfg.Alerts.Violated() {
 			aborted = true
 			break
 		}
@@ -498,6 +531,9 @@ func (e *Engine) Run() Result {
 			s := t.dev.ProbeSnapshot()
 			cfg.Audit.EndDevice(t.name, s.EnergyInWh, s.EnergyOutWh, s.LossWh, s.StoredWh)
 		}
+	}
+	if cfg.Alerts != nil {
+		e.alertFinish()
 	}
 	if cfg.Events != nil && !stopped {
 		end := cfg.Duration.Seconds()
@@ -519,31 +555,31 @@ func (e *Engine) Run() Result {
 // window at all (the Null placeholder), are skipped.
 func (e *Engine) buildProbeTargets() {
 	e.probeTargets = e.probeTargets[:0]
-	add := func(pool string, dev esd.Device) {
+	add := func(pool string, dev esd.Device, battery bool) {
 		if p, ok := dev.(*esd.Pool); ok {
 			for i, m := range p.Members() {
 				if pr, ok := m.(esd.Prober); ok {
-					e.addProbeTarget(fmt.Sprintf("%s/%d", pool, i), pr)
+					e.addProbeTarget(fmt.Sprintf("%s/%d", pool, i), pr, battery)
 				}
 			}
 			return
 		}
 		if pr, ok := dev.(esd.Prober); ok {
-			e.addProbeTarget(pool, pr)
+			e.addProbeTarget(pool, pr, battery)
 		}
 	}
-	add("battery", e.cfg.Battery)
+	add("battery", e.cfg.Battery, true)
 	if e.cfg.Supercap != nil {
-		add("supercap", e.cfg.Supercap)
+		add("supercap", e.cfg.Supercap, false)
 	}
 }
 
-func (e *Engine) addProbeTarget(name string, pr esd.Prober) {
+func (e *Engine) addProbeTarget(name string, pr esd.Prober, battery bool) {
 	s := pr.ProbeSnapshot()
 	if s.CapacityAh == 0 && s.CapacityWh == 0 {
 		return
 	}
-	e.probeTargets = append(e.probeTargets, probeTarget{name: name, dev: pr})
+	e.probeTargets = append(e.probeTargets, probeTarget{name: name, dev: pr, battery: battery})
 }
 
 // recordProbes samples every probe target into the recorder.
@@ -580,8 +616,10 @@ func (e *Engine) deviceEnergy() (in, out units.Energy) {
 	return in, out
 }
 
-// auditStep measures the step's bus-boundary ledger from cumulative
-// deltas and runs the structural invariant checks.
+// ledgerStep measures the step's bus-boundary ledger from cumulative
+// deltas and advances the baselines. It is shared by the auditor and the
+// alert engine, so the deltas are computed once per step however many
+// consumers are attached.
 //
 // The bus boundary sits between the sources (utility feed, discharging
 // devices) and the sinks (server load as metered, charging devices,
@@ -594,8 +632,7 @@ func (e *Engine) deviceEnergy() (in, out units.Energy) {
 // Every engine path balances these exactly, so the audit tolerance only
 // absorbs float summation error — any modeling bug that creates or
 // destroys energy at the bus shows up as drift.
-func (e *Engine) auditStep(now time.Duration) {
-	a := e.cfg.Audit
+func (e *Engine) ledgerStep() (inWh, outWh float64) {
 	devIn, devOut := e.deviceEnergy()
 	meterUtility := e.fabric.Meter().Utility
 	served := e.servedBA + e.servedSC
@@ -604,7 +641,6 @@ func (e *Engine) auditStep(now time.Duration) {
 	in := (e.utilityDrawn - e.ledger.utilityDrawn) + (devOut - e.ledger.devOut)
 	out := (meterUtility - e.ledger.meterUtility) + (served - e.ledger.served) +
 		(devIn - e.ledger.devIn) + (convLoss - e.ledger.convLoss)
-	a.RecordStep(now.Seconds(), in.Wh(), out.Wh())
 
 	e.ledger = ledgerState{
 		utilityDrawn: e.utilityDrawn,
@@ -614,9 +650,82 @@ func (e *Engine) auditStep(now time.Duration) {
 		devOut:       devOut,
 		convLoss:     convLoss,
 	}
+	return in.Wh(), out.Wh()
+}
 
+// auditStep feeds the step's bus ledger into the auditor and runs the
+// structural invariant checks.
+func (e *Engine) auditStep(now time.Duration, inWh, outWh float64) {
+	e.cfg.Audit.RecordStep(now.Seconds(), inWh, outWh)
 	e.auditBounds(now)
 	e.auditRelays(now)
+}
+
+// alertStep feeds the step's live signals to the SLO rule engine: SoC on
+// every probed device (floor/ceiling/DoD rules), the mismatch-window
+// clock, the shared bus ledger, the bus ramp rate, and relay
+// exclusivity. Newly fired alerts are bridged to the event log.
+func (e *Engine) alertStep(now time.Duration, inWh, outWh float64) {
+	al := e.cfg.Alerts
+	sec := now.Seconds()
+	for _, t := range e.probeTargets {
+		// Charge-protection SLOs scope to batteries: supercaps sweep their
+		// full usable window by design, so floor/DoD breaches there are
+		// normal operation, not faults.
+		if t.battery {
+			al.ObserveSoC(sec, t.name, t.dev.ProbeSnapshot().SoC)
+		}
+	}
+	al.ObserveMismatch(sec, e.mismatchSteps > e.alertMismatchPrev, e.cfg.Step.Seconds())
+	e.alertMismatchPrev = e.mismatchSteps
+	al.ObserveLedger(sec, inWh, outWh)
+	if n := len(e.demandSeries); n >= 2 {
+		al.ObserveRamp(sec, math.Abs(e.demandSeries[n-1]-e.demandSeries[n-2])/e.cfg.Step.Seconds())
+	}
+	counts := e.fabric.SourceCounts()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	exclusive := total == e.fabric.NumServers() && counts[power.SourceOff] == e.fabric.NumOffline()
+	al.ObserveRelays(sec, exclusive, total, e.fabric.NumServers())
+	e.emitAlerts()
+}
+
+// alertFinish runs the end-of-run battery wear-rate rule and drains any
+// still-queued alerts to the event sink.
+func (e *Engine) alertFinish() {
+	al := e.cfg.Alerts
+	sec := float64(e.steps) * e.cfg.Step.Seconds()
+	if days := sec / 86400; days > 0 {
+		if wearer, ok := e.cfg.Battery.(interface{ Wear() (esd.WearReport, int) }); ok {
+			if report, n := wearer.Wear(); n > 0 {
+				al.ObserveWear(sec, "battery", report.EquivalentFullCycles/days)
+			}
+		} else if b, ok := e.cfg.Battery.(*esd.Battery); ok {
+			al.ObserveWear(sec, "battery", b.Wear().EquivalentFullCycles/days)
+		}
+	}
+	e.emitAlerts()
+}
+
+// emitAlerts drains newly fired alerts into the event log as EventAlert;
+// with no event sink the queue is still drained so it cannot grow.
+func (e *Engine) emitAlerts() {
+	fired := e.cfg.Alerts.TakeFired()
+	if len(fired) == 0 || e.cfg.Events == nil {
+		return
+	}
+	for _, a := range fired {
+		detail := a.Kind.String() + "/" + a.Severity.String()
+		if a.Device != "" {
+			detail += " @" + a.Device
+		}
+		e.cfg.Events.Emit(obs.Event{
+			Seconds: a.Seconds, Kind: obs.EventAlert, Server: -1,
+			Watts: a.Value, Detail: detail,
+		})
+	}
 }
 
 // auditBounds checks every probed device against its physical envelope:

@@ -13,8 +13,9 @@
 # engine hot loop allocation-free. The Probes pair does the same for the
 # deep layer (per-device probes + energy auditor + span tracer), the
 # Checkpoint pair for the flight recorder (state snapshots at slot
-# boundaries), and the Manifest pair for the capture run-index layer
-# (manifest rows built from contributed artifacts, no file IO).
+# boundaries), the Manifest pair for the capture run-index layer
+# (manifest rows built from contributed artifacts, no file IO), and the
+# Alerts pair for the online SLO rule engine (internal/obs/alerts).
 #
 # Usage:
 #   scripts/bench.sh [sweep.json [obs.json]]   measure and write baselines
@@ -130,4 +131,4 @@ run_set() {
 }
 
 run_set 'BenchmarkMultiSeedSequential|BenchmarkMultiSeedParallel|BenchmarkEngineStep$' "$sweep_out"
-run_set 'BenchmarkEngineObsDisabled|BenchmarkEngineObsEnabled|BenchmarkEngineProbesDisabled|BenchmarkEngineProbesEnabled|BenchmarkEngineCheckpointDisabled|BenchmarkEngineCheckpointEnabled|BenchmarkEngineManifestDisabled|BenchmarkEngineManifestEnabled' "$obs_out"
+run_set 'BenchmarkEngineObsDisabled|BenchmarkEngineObsEnabled|BenchmarkEngineProbesDisabled|BenchmarkEngineProbesEnabled|BenchmarkEngineCheckpointDisabled|BenchmarkEngineCheckpointEnabled|BenchmarkEngineManifestDisabled|BenchmarkEngineManifestEnabled|BenchmarkEngineAlertsDisabled|BenchmarkEngineAlertsEnabled' "$obs_out"

@@ -29,6 +29,16 @@
 # lists every complete run, and the compare endpoint distinguishes a
 # run from its differently-budgeted twin while calling the resumed
 # re-recording identical to the original.
+#
+# Phase 5 exercises the SLO alerting layer and the hebwatch sentinel: a
+# clean run with -alerts report stays healthy (no alerts.jsonl, ok
+# verdict in the manifest), a fault-injected run (-alert-soc-floor
+# tightened above BaOnly's natural SoC swing) fires soc_floor criticals
+# into alerts.jsonl with a critical health verdict, -alerts strict
+# exits nonzero on the same breach, hebwatch score flags the unhealthy
+# capture (exit 1) while passing the clean one, hebwatch diff
+# self-compares clean, and hebwatch bench accepts the committed
+# BENCH_obs.json baseline against itself.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -153,4 +163,52 @@ grep -q '"identical":true' "$dir/cmp_ar.json" ||
 	{ echo "obs smoke: resumed re-recording not identical to original" >&2; exit 1; }
 
 kill "$hebmon_pid" 2>/dev/null
+
+echo "== obs smoke: SLO alerts + hebwatch sentinel =="
+# Clean run with the rule engine on: default thresholds fire nothing.
+go run ./cmd/hebsim -exp run -scheme HEB-D -workload PR -duration 10m \
+	-obs "$dir/alerts_clean" -alerts report >/dev/null 2>"$dir/clean_stderr.txt"
+grep -q 'msg="alerts done" runs=1 unhealthy=0 criticals=0' "$dir/clean_stderr.txt" ||
+	{ echo "obs smoke: clean run did not report healthy alerts" >&2; exit 1; }
+[[ -e "$dir/alerts_clean/alerts.jsonl" ]] &&
+	{ echo "obs smoke: clean run wrote alerts.jsonl" >&2; exit 1; }
+grep -q '"health": "ok"' "$dir/alerts_clean/manifest.json" ||
+	{ echo "obs smoke: clean manifest lacks the ok health verdict" >&2; exit 1; }
+go run ./cmd/obscheck "$dir/alerts_clean"
+
+# Seeded fault injection: a SoC floor above BaOnly's natural swing must
+# fire soc_floor criticals; report mode records the breach, strict mode
+# fails the run.
+go run ./cmd/hebsim -exp run -scheme BaOnly -workload PR -duration 2h \
+	-obs "$dir/alerts_breach" -alerts report -alert-soc-floor 0.5 \
+	>/dev/null 2>"$dir/breach_stderr.txt"
+grep -q '"kind":"soc_floor","severity":"critical"' "$dir/alerts_breach/alerts.jsonl" ||
+	{ echo "obs smoke: breach capture lacks the soc_floor critical" >&2; exit 1; }
+grep -q '"health": "critical"' "$dir/alerts_breach/manifest.json" ||
+	{ echo "obs smoke: breach manifest lacks the critical health verdict" >&2; exit 1; }
+go run ./cmd/obscheck "$dir/alerts_breach"
+
+if go run ./cmd/hebsim -exp run -scheme BaOnly -workload PR -duration 2h \
+	-alerts strict -alert-soc-floor 0.5 >/dev/null 2>"$dir/strict_stderr.txt"; then
+	echo "obs smoke: -alerts strict did not fail the breached run" >&2; exit 1
+fi
+grep -q "alert SLOs failed" "$dir/strict_stderr.txt" ||
+	{ echo "obs smoke: strict failure lacks the SLO error" >&2; exit 1; }
+
+# hebwatch: the clean capture scores without criticals, the breach
+# capture's health verdict escalates to exit 1, diff self-compares
+# clean, and the committed benchmark baseline passes against itself.
+go build -o "$dir/hebwatch" ./cmd/hebwatch
+"$dir/hebwatch" score "$dir/alerts_clean" | grep -q " 0 critical" ||
+	{ echo "obs smoke: hebwatch score flagged the clean capture" >&2; exit 1; }
+if "$dir/hebwatch" score "$dir/alerts_breach" >"$dir/score_breach.txt"; then
+	echo "obs smoke: hebwatch score missed the breached run" >&2; exit 1
+fi
+grep -q "health=critical" "$dir/score_breach.txt" ||
+	{ echo "obs smoke: hebwatch score lacks the health escalation" >&2; exit 1; }
+"$dir/hebwatch" diff "$dir/alerts_clean" "$dir/alerts_clean" | grep -q "0 critical, 0 warn" ||
+	{ echo "obs smoke: hebwatch diff dirtied a self-compare" >&2; exit 1; }
+"$dir/hebwatch" bench BENCH_obs.json BENCH_obs.json | grep -q "within tolerance" ||
+	{ echo "obs smoke: hebwatch bench rejected the committed baseline" >&2; exit 1; }
+
 echo "obs smoke: OK"
