@@ -16,6 +16,7 @@ import (
 	"heb/internal/esd"
 	"heb/internal/obs"
 	"heb/internal/obs/alerts"
+	"heb/internal/obs/prof"
 	"heb/internal/pat"
 	"heb/internal/power"
 	"heb/internal/sim"
@@ -577,6 +578,52 @@ func benchEngineAlerts(b *testing.B, enabled bool) {
 func BenchmarkEngineAlertsDisabled(b *testing.B) { benchEngineAlerts(b, false) }
 
 func BenchmarkEngineAlertsEnabled(b *testing.B) { benchEngineAlerts(b, true) }
+
+// benchEngineProf runs the HEB-D hour with the profiling layer either off
+// (no collector window open — the default every run takes) or on (a heap
+// collector armed, so every run executes under its pprof cell labels).
+// Disabled must match BenchmarkEngineStep's allocs/op exactly: the only
+// cost on the disabled path is one atomic load in Prototype.Run, and the
+// engine's phase-label switches are nil-guarded out of the loop.
+func benchEngineProf(b *testing.B, enabled bool) {
+	b.Helper()
+	p := DefaultPrototype()
+	pr, err := WorkloadNamed("PR")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := pr.WithDuration(time.Hour).Trace(p); err != nil {
+		b.Fatal(err)
+	}
+	if enabled {
+		// A heap-only collector opens the label window without the CPU
+		// profiler's sampling overhead distorting ns/op.
+		c := prof.NewCollector(b.TempDir(), []string{"heap"})
+		if err := c.Start(); err != nil {
+			b.Fatal(err)
+		}
+		defer func() {
+			if err := c.Stop(); err != nil {
+				b.Fatal(err)
+			}
+		}()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	steps := 0
+	for i := 0; i < b.N; i++ {
+		res, err := p.Run(HEBD, pr.WithDuration(time.Hour), RunOptions{Duration: time.Hour})
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += res.Steps
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "simSteps/s")
+}
+
+func BenchmarkEngineProfDisabled(b *testing.B) { benchEngineProf(b, false) }
+
+func BenchmarkEngineProfEnabled(b *testing.B) { benchEngineProf(b, true) }
 
 // benchMultiSeed measures the multi-seed sweep at a fixed worker count.
 // The seed × scheme grid is the repo's heaviest embarrassingly-parallel

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"path/filepath"
 	"slices"
 	"strconv"
 	"strings"
@@ -31,6 +32,7 @@ type monitor struct {
 	rec     *telemetry.Recorder
 	metrics *telemetry.Metrics
 	proc    *telemetry.ProcMetrics
+	rt      *telemetry.RuntimeMetrics
 	stream  *obs.EventStream
 	reg     *registry.Registry
 	ready   atomic.Bool
@@ -58,7 +60,7 @@ func (m *monitor) mux() *http.ServeMux {
 	// before every scrape so lossy SSE delivery is visible on /metrics.
 	sseDrops := m.metrics.Registry().Counter("heb_sse_dropped_total",
 		"SSE events dropped to slow /events subscribers.")
-	metricsH := m.proc.Handler(m.metrics.Registry().Handler())
+	metricsH := m.proc.Handler(m.rt.Handler(m.metrics.Registry().Handler()))
 	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		m.sseMu.Lock()
 		if d := m.stream.Dropped(); d > m.sseReported {
@@ -71,6 +73,7 @@ func (m *monitor) mux() *http.ServeMux {
 	mux.HandleFunc("GET /api/alerts", m.handleAlerts)
 	mux.HandleFunc("GET /api/runs", m.handleRuns)
 	mux.HandleFunc("GET /api/runs/{id}", m.handleRun)
+	mux.HandleFunc("GET /api/runs/{id}/profiles", m.handleRunProfiles)
 	mux.HandleFunc("GET /api/runs/{id}/score", m.handleScore)
 	mux.HandleFunc("GET /api/runs/{id}/compare/{other}", m.handleCompare)
 	mux.HandleFunc("GET /api/captures", m.handleCaptures)
@@ -155,6 +158,38 @@ func (m *monitor) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, run)
+}
+
+// profilesResponse is the /api/runs/{id}/profiles wire form: the pprof
+// artifacts the run's capture inventoried, if any. Profiles are
+// capture-scoped (one profiled hebsim process per capture), so every run
+// in a capture reports the same set.
+type profilesResponse struct {
+	Capture  string             `json:"capture"`
+	Count    int                `json:"count"`
+	Profiles []obs.ArtifactInfo `json:"profiles"`
+}
+
+func (m *monitor) handleRunProfiles(w http.ResponseWriter, r *http.Request) {
+	if m.reg == nil {
+		writeText(w, http.StatusServiceUnavailable, "no capture root configured (start hebmon with -runs)\n")
+		return
+	}
+	run, ok := m.reg.Find(r.PathValue("id"))
+	if !ok {
+		writeText(w, http.StatusNotFound, "unknown run\n")
+		return
+	}
+	man, err := obs.ReadManifest(filepath.Join(m.reg.Root(), run.Capture))
+	if err != nil {
+		writeText(w, http.StatusInternalServerError, "read capture manifest: "+err.Error()+"\n")
+		return
+	}
+	resp := profilesResponse{Capture: run.Capture, Count: len(man.Profiles), Profiles: man.Profiles}
+	if resp.Profiles == nil {
+		resp.Profiles = []obs.ArtifactInfo{}
+	}
+	writeJSON(w, resp)
 }
 
 // alertsResponse is the /api/alerts wire form: the live stream's recent

@@ -12,6 +12,7 @@ import (
 	"heb"
 	"heb/internal/obs"
 	"heb/internal/obs/alerts"
+	"heb/internal/obs/prof"
 	"heb/internal/obs/registry"
 	"heb/internal/telemetry"
 )
@@ -59,6 +60,7 @@ func newTestMonitor(t *testing.T, root string) (*monitor, *httptest.Server) {
 		stream:  obs.NewEventStream(0),
 	}
 	m.proc = telemetry.NewProcMetrics(m.metrics.Registry())
+	m.rt = telemetry.NewRuntimeMetrics(m.metrics.Registry())
 	if root != "" {
 		m.reg = registry.New(root)
 		if err := m.reg.Scan(); err != nil {
@@ -356,6 +358,7 @@ func TestReadyzGatesOnScan(t *testing.T) {
 		stream:  obs.NewEventStream(0),
 	}
 	m.proc = telemetry.NewProcMetrics(m.metrics.Registry())
+	m.rt = telemetry.NewRuntimeMetrics(m.metrics.Registry())
 	ts := httptest.NewServer(m.mux())
 	defer ts.Close()
 	if code, _ := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
@@ -380,5 +383,67 @@ func TestDashboardAndMetrics(t *testing.T) {
 	// The recorder API keeps its historical paths.
 	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
 		t.Fatal("healthz broken")
+	}
+}
+
+func TestAPIRunProfiles(t *testing.T) {
+	root := t.TempDir()
+	dir := root + "/sweep"
+	// Profile the capture the way `hebsim -profile heap -obs dir` does:
+	// collector window around the runs, then AttachProfiles.
+	c := prof.NewCollector(dir, []string{"heap"})
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	m := captureTwoSeeds(t, dir)
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.AttachProfiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestMonitor(t, root)
+
+	code, body := get(t, ts.URL+"/api/runs/"+m.Runs[0].ID+"/profiles")
+	if code != http.StatusOK {
+		t.Fatalf("/profiles = %d: %s", code, body)
+	}
+	var resp struct {
+		Capture  string             `json:"capture"`
+		Count    int                `json:"count"`
+		Profiles []obs.ArtifactInfo `json:"profiles"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 1 || len(resp.Profiles) != 1 {
+		t.Fatalf("profiles response = %+v, want one heap profile", resp)
+	}
+	if resp.Profiles[0].Name != "profiles/heap.pb.gz" || resp.Profiles[0].Bytes <= 0 {
+		t.Errorf("profile entry = %+v", resp.Profiles[0])
+	}
+
+	if code, body := get(t, ts.URL+"/api/runs/nope/profiles"); code != http.StatusNotFound {
+		t.Errorf("unknown run = %d: %s", code, body)
+	}
+}
+
+func TestAPIRunProfilesEmptyForUnprofiledCapture(t *testing.T) {
+	root := t.TempDir()
+	m := captureTwoSeeds(t, root+"/sweep")
+	_, ts := newTestMonitor(t, root)
+	code, body := get(t, ts.URL+"/api/runs/"+m.Runs[0].ID+"/profiles")
+	if code != http.StatusOK {
+		t.Fatalf("/profiles = %d: %s", code, body)
+	}
+	var resp struct {
+		Count    int               `json:"count"`
+		Profiles []json.RawMessage `json:"profiles"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 0 || resp.Profiles == nil || len(resp.Profiles) != 0 {
+		t.Errorf("unprofiled capture response = %s", body)
 	}
 }

@@ -107,6 +107,7 @@ func run(addr, scheme, wl string, duration time.Duration, speedup float64, histo
 		stream:  obs.NewEventStream(0),
 	}
 	m.proc = telemetry.NewProcMetrics(m.metrics.Registry())
+	m.rt = telemetry.NewRuntimeMetrics(m.metrics.Registry())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

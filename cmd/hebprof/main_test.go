@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"heb/internal/obs/prof"
+)
+
+// capture writes a real allocs+cpu profile pair into dir/profiles by
+// running a labeled allocation workload under a collector.
+func capture(t *testing.T, dir string, perIter int) {
+	t.Helper()
+	c := prof.NewCollector(dir, []string{"cpu", "allocs"})
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var escape [][]byte
+	prof.DoCell("HEB-D", "PR", 42, func(ctx context.Context) {
+		prof.SetPhase(ctx, prof.PhaseSteps)
+		for i := 0; i < 2000; i++ {
+			escape = append(escape, make([]byte, perIter))
+		}
+	})
+	_ = escape
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResolveInputs(t *testing.T) {
+	root := t.TempDir()
+	capA := filepath.Join(root, "a")
+	capB := filepath.Join(root, "b")
+	capture(t, capA, 512)
+	capture(t, capB, 512)
+
+	// Direct file.
+	file := filepath.Join(capA, prof.Dir, prof.FileName("allocs"))
+	got, err := resolveInputs([]string{file}, "allocs")
+	if err != nil || len(got) != 1 {
+		t.Fatalf("file input: %v %v", got, err)
+	}
+	// Capture dir.
+	got, err = resolveInputs([]string{capA}, "allocs")
+	if err != nil || len(got) != 1 || got[0] != file {
+		t.Fatalf("capture dir input: %v %v", got, err)
+	}
+	// Tree: both captures merge.
+	got, err = resolveInputs([]string{root}, "allocs")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("tree input: %v %v", got, err)
+	}
+	// Tree with no matching kind errors.
+	if _, err := resolveInputs([]string{t.TempDir()}, "mutex"); err == nil {
+		t.Fatal("empty tree should error")
+	}
+}
+
+func TestTopCmd(t *testing.T) {
+	dir := t.TempDir()
+	capture(t, dir, 1024)
+	var out bytes.Buffer
+	if err := topCmd(&out, []string{"-kind", "allocs", "-n", "10", dir}); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "alloc_space/bytes") {
+		t.Fatalf("missing sample header:\n%s", s)
+	}
+	if !strings.Contains(s, "capture") { // the allocating frame is in this test binary
+		t.Fatalf("expected capture frame in rollup:\n%s", s)
+	}
+}
+
+func TestTopByLabel(t *testing.T) {
+	dir := t.TempDir()
+	capture(t, dir, 1024)
+	var out bytes.Buffer
+	// Labels only attach to CPU samples; the CPU profile may legitimately
+	// be empty for this tiny workload, in which case top still succeeds
+	// with a zero total.
+	err := topCmd(&out, []string{"-kind", "allocs", "-by", "phase", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "by phase:") {
+		t.Fatalf("missing label bucket table:\n%s", out.String())
+	}
+}
+
+func TestDiffCmdThreshold(t *testing.T) {
+	base, cur := t.TempDir(), t.TempDir()
+	capture(t, base, 256)
+	capture(t, cur, 256)
+	var out bytes.Buffer
+	// Same workload twice: frame shares match, no threshold trip.
+	if err := diffCmd(&out, []string{"-kind", "allocs", "-threshold", "30", base, cur}); err != nil {
+		t.Fatalf("identical workloads should pass: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "Δpp") {
+		t.Fatalf("missing delta table:\n%s", out.String())
+	}
+	// Threshold 0 disables the gate entirely.
+	out.Reset()
+	if err := diffCmd(&out, []string{"-kind", "allocs", "-threshold", "0", base, cur}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckCmdUpdateAndGate(t *testing.T) {
+	dir := t.TempDir()
+	capture(t, dir, 512)
+	baseline := filepath.Join(t.TempDir(), "BENCH_prof.json")
+
+	var out bytes.Buffer
+	if err := checkCmd(&out, []string{"-baseline", baseline, "-kind", "allocs", "-update", "-source", "test", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(baseline); err != nil {
+		t.Fatal(err)
+	}
+
+	// Self-check passes.
+	out.Reset()
+	if err := checkCmd(&out, []string{"-baseline", baseline, "-kind", "allocs", dir}); err != nil {
+		t.Fatalf("self check: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "profile check OK") {
+		t.Fatalf("missing OK line:\n%s", out.String())
+	}
+
+	// Seed a regression: a baseline whose frames don't cover the real
+	// profile forces new-frame violations and a threshold exit.
+	fake := filepath.Join(t.TempDir(), "BENCH_prof.json")
+	if err := os.WriteFile(fake, []byte(`{"v":1,"sample":"alloc_space/bytes","frames":[{"name":"nothing.real","flat_pct":99}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err := checkCmd(&out, []string{"-baseline", fake, "-kind", "allocs", dir})
+	if err == nil {
+		t.Fatalf("seeded regression should fail:\n%s", out.String())
+	}
+	if _, ok := err.(exceeded); !ok {
+		t.Fatalf("want threshold failure (exit 1 class), got %T: %v", err, err)
+	}
+	if !strings.Contains(out.String(), "new-frame") {
+		t.Fatalf("missing violation detail:\n%s", out.String())
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"heb/internal/logging"
 	"heb/internal/obs"
 	"heb/internal/obs/alerts"
+	"heb/internal/obs/prof"
 	"heb/internal/pat"
 	"heb/internal/runner"
 	"heb/internal/sim"
@@ -54,6 +55,7 @@ func main() {
 		audit    = flag.String("audit", "off", "energy-conservation audit: off, report, or strict (strict aborts a run at its first violation)")
 		alertsF  = flag.String("alerts", "off", "online SLO alerting: off, report, or strict (strict aborts a run once a critical alert fires); fired alerts land in the -obs capture's alerts.jsonl and each run's manifest health verdict")
 		alertFlr = flag.Float64("alert-soc-floor", 0, "override the soc_floor alert threshold (0 = rule default, negative disables); tightening it above a scheme's natural SoC swing fault-injects a critical breach")
+		profileF = flag.String("profile", "", "capture pprof profiles into <obs>/profiles/ (comma list of cpu, heap, allocs, mutex, block, or all; requires -obs); profiles measure wall-clock behaviour and are excluded from byte-identity checks, like -trace-clock wall")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event span profile to this file (open in Perfetto; summarize with hebtrace)")
 		traceClk = flag.String("trace-clock", "virtual", "trace timestamps: virtual (deterministic) or wall (real elapsed time)")
 		ckptEvry = flag.Int("checkpoint-every", 0, "flight recorder: checkpoint the full run state every N control slots into <obs>/checkpoints.jsonl (-exp run; requires -obs)")
@@ -118,6 +120,24 @@ func main() {
 		p.TraceCell = *exp
 	}
 
+	var collector *prof.Collector
+	if *profileF != "" {
+		if *obsDir == "" {
+			slog.Error("-profile requires -obs (the capture directory that receives profiles/)")
+			os.Exit(2)
+		}
+		if *replay != "" {
+			slog.Error("-profile and -replay are mutually exclusive (replay inspects an existing capture)")
+			os.Exit(2)
+		}
+		kinds, perr := prof.ParseKinds(*profileF)
+		if perr != nil {
+			slog.Error("bad -profile flag", "err", perr)
+			os.Exit(2)
+		}
+		collector = prof.NewCollector(*obsDir, kinds)
+	}
+
 	fl := flight{dir: *obsDir, every: *ckptEvry, resume: *resume, replay: *replay}
 	if fl.enabled() {
 		switch {
@@ -175,10 +195,25 @@ func main() {
 		go serveTelemetry(*telAddr, prog, nw)
 	}
 
+	if collector != nil {
+		// The collector window opens just before the experiments and
+		// closes right after them, so artifact serialization below never
+		// pollutes the profiles. Starting flips prof.Active(): every
+		// Prototype.Run now executes under its cell labels.
+		if perr := collector.Start(); perr != nil {
+			slog.Error("starting profile capture", "err", perr)
+			os.Exit(1)
+		}
+	}
 	if *exp == "run" {
 		err = runOnce(os.Stdout, p, *duration, *scheme, *wlName, *wlCSV, *patIn, *patOut, fl)
 	} else {
 		err = run(os.Stdout, *exp, p, *duration, units.Power(*load), *workers)
+	}
+	if collector != nil {
+		if perr := collector.Stop(); perr != nil && err == nil {
+			err = fmt.Errorf("profile capture: %w", perr)
+		}
 	}
 	if audits != nil {
 		reports := audits.Reports()
@@ -204,6 +239,13 @@ func main() {
 		if err = capture.WriteFiles(*obsDir); err == nil {
 			slog.Info("wrote observability artifacts", "runs", len(capture.Runs()), "dir", *obsDir)
 		}
+		if err == nil && collector != nil {
+			// Profiles join the manifest in their own wall-clock inventory
+			// section, leaving the deterministic sections byte-identical.
+			if err = obs.AttachProfiles(*obsDir); err == nil {
+				slog.Info("attached profiles to manifest", "kinds", *profileF)
+			}
+		}
 	}
 	if err == nil && tracer != nil {
 		if err = writeTrace(*traceOut, tracer); err == nil {
@@ -224,22 +266,24 @@ func main() {
 }
 
 // serveTelemetry exposes the process's live self-telemetry — the
-// heb_runner_* pool family fed by prog and the heb_proc_* runtime family
-// — at addr/metrics for the duration of the sweep. Serving is strictly
+// heb_runner_* pool family fed by prog plus the heb_proc_* and
+// heb_runtime_* runtime families — at addr/metrics for the duration of
+// the sweep. Serving is strictly
 // observational: scrapes never touch simulation state, so experiment
 // output is unchanged.
 func serveTelemetry(addr string, prog *runner.Progress, workers int) {
 	reg := obs.NewRegistry()
 	rm := telemetry.NewRunnerMetrics(reg, prog, workers)
 	pm := telemetry.NewProcMetrics(reg)
+	rt := telemetry.NewRuntimeMetrics(reg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	mux.Handle("/metrics", pm.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("/metrics", pm.Handler(rt.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rm.Sample()
 		reg.Handler().ServeHTTP(w, r)
-	})))
+	}))))
 	slog.Info("telemetry listening", "addr", addr)
 	if err := http.ListenAndServe(addr, mux); err != nil {
 		slog.Warn("telemetry server stopped", "err", err)

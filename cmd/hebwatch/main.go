@@ -24,7 +24,10 @@
 //	    Check benchmark drift between two BENCH_*.json files as written
 //	    by scripts/bench.sh: allocs/op must match exactly (allocation
 //	    counts are deterministic), ns/op may grow by at most R (default
-//	    1.5, matching bench.sh -check). Exits 1 on any violation.
+//	    1.5, matching bench.sh -check). When baseline.json is a
+//	    BENCH_prof.json profile baseline (a "frames" array), current is
+//	    instead a pprof file or capture dir and the comparison runs
+//	    cmd/hebprof's frame gate. Exits 1 on any violation.
 //
 // Exit status: 0 clean, 1 critical findings, 2 on usage or read errors.
 package main
@@ -36,10 +39,12 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
 	"heb/internal/obs"
+	"heb/internal/obs/prof"
 	"heb/internal/obs/registry"
 	"heb/internal/obs/registry/baseline"
 )
@@ -77,7 +82,13 @@ func main() {
 		if fs.NArg() != 2 {
 			usage()
 		}
-		criticals, err = bench(os.Stdout, fs.Arg(0), fs.Arg(1), *nsTol)
+		// A baseline with a "frames" array is a BENCH_prof.json profile
+		// baseline, not a timings file: route to the profile comparator.
+		if prof.IsBaselineFile(fs.Arg(1)) {
+			criticals, err = benchProf(os.Stdout, fs.Arg(0), fs.Arg(1))
+		} else {
+			criticals, err = bench(os.Stdout, fs.Arg(0), fs.Arg(1), *nsTol)
+		}
 	default:
 		usage()
 	}
@@ -296,6 +307,57 @@ func bench(w io.Writer, curPath, basePath string, nsTol float64) (int, error) {
 	fmt.Fprintf(w, "hebwatch: %d benchmarks vs %s: %s (%d findings, allocs exact, ns/op <= %gx)\n",
 		len(names), basePath, verdict, criticals, nsTol)
 	return criticals, nil
+}
+
+// benchProf gates a current profile against a committed BENCH_prof.json
+// top-frames baseline with cmd/hebprof's check semantics (shared
+// prof.Check, default thresholds). curPath is a pprof proto file (e.g. a
+// `go test -memprofile` output) or a capture directory holding
+// profiles/. Every violation is critical.
+func benchProf(w io.Writer, curPath, basePath string) (int, error) {
+	b, err := prof.ReadBaseline(basePath)
+	if err != nil {
+		return 0, err
+	}
+	sample := strings.SplitN(b.Sample, "/", 2)[0]
+	path := curPath
+	if info, serr := os.Stat(curPath); serr == nil && info.IsDir() {
+		path = filepath.Join(curPath, prof.Dir, prof.FileName(kindForSample(sample)))
+	}
+	p, err := prof.ParseFile(path)
+	if err != nil {
+		return 0, err
+	}
+	r, err := prof.NewRollup([]*prof.Profile{p}, sample, "")
+	if err != nil {
+		return 0, err
+	}
+	viol := prof.Check(b, r, prof.DefaultCheckOpts())
+	for _, v := range viol {
+		fmt.Fprintf(w, "%s\n", v)
+	}
+	verdict := "within tolerance"
+	if len(viol) > 0 {
+		verdict = "REGRESSED"
+	}
+	fmt.Fprintf(w, "hebwatch: profile %s vs %s (%d frames, sample %s): %s (%d findings)\n",
+		path, basePath, len(b.Frames), b.Sample, verdict, len(viol))
+	return len(viol), nil
+}
+
+// kindForSample maps a baseline's sample-type name to the capture
+// profile kind that carries it.
+func kindForSample(sample string) string {
+	switch sample {
+	case "alloc_space", "alloc_objects":
+		return "allocs"
+	case "inuse_space", "inuse_objects":
+		return "heap"
+	case "contentions", "delay":
+		return "mutex"
+	default:
+		return "cpu"
+	}
 }
 
 func loadBench(path string) (map[string]benchRow, error) {

@@ -8,6 +8,7 @@ import (
 
 	"heb/internal/obs"
 	"heb/internal/obs/alerts"
+	"heb/internal/obs/prof"
 	"heb/internal/obs/registry/baseline"
 )
 
@@ -230,5 +231,68 @@ func TestBenchBadFiles(t *testing.T) {
 	writeBench(t, empty, `{"benchmarks": []}`)
 	if _, err := bench(&sb, empty, good, 1.5); err == nil {
 		t.Fatal("empty benchmark list accepted")
+	}
+}
+
+// TestBenchRoutesProfileBaseline pins the bench subcommand's routing: a
+// baseline file with a "frames" array runs the profile frame gate
+// against a pprof input instead of the timings comparator.
+func TestBenchRoutesProfileBaseline(t *testing.T) {
+	dir := t.TempDir()
+	c := prof.NewCollector(dir, []string{"allocs"})
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var sink [][]byte
+	for i := 0; i < 2000; i++ {
+		sink = append(sink, make([]byte, 1024))
+	}
+	_ = sink
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	profPath := filepath.Join(dir, prof.Dir, prof.FileName("allocs"))
+	p, err := prof.ParseFile(profPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := prof.NewRollup([]*prof.Profile{p}, "alloc_space", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := filepath.Join(t.TempDir(), "BENCH_prof.json")
+	if err := prof.WriteBaseline(base, prof.NewBaseline(r, 25, "test")); err != nil {
+		t.Fatal(err)
+	}
+	if !prof.IsBaselineFile(base) {
+		t.Fatal("written baseline not recognized as a profile baseline")
+	}
+
+	// Self-check: profile against its own baseline is clean, via both a
+	// direct file path and the capture directory.
+	for _, in := range []string{profPath, dir} {
+		var out strings.Builder
+		n, err := benchProf(&out, in, base)
+		if err != nil || n != 0 {
+			t.Fatalf("self check via %s: %d findings, %v\n%s", in, n, err, out.String())
+		}
+		if !strings.Contains(out.String(), "within tolerance") {
+			t.Errorf("missing verdict line:\n%s", out.String())
+		}
+	}
+
+	// A baseline that doesn't cover the profile's frames regresses.
+	fake := filepath.Join(t.TempDir(), "BENCH_prof.json")
+	if err := os.WriteFile(fake, []byte(`{"v":1,"sample":"alloc_space/bytes","frames":[{"name":"no.suchFrame","flat_pct":95}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	n, err := benchProf(&out, profPath, fake)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("seeded regression not flagged (%d findings):\n%s", n, out.String())
 	}
 }

@@ -34,6 +34,7 @@ import (
 
 	"heb/internal/obs"
 	"heb/internal/obs/alerts"
+	"heb/internal/obs/prof"
 )
 
 func main() {
@@ -363,7 +364,89 @@ func checkManifest(dir string, evs []obs.Event, recs []obs.DecisionRecord,
 			return "", nil, fmt.Errorf("run %s: artifacts serialize to %d bytes, manifest says %d", key, got, kt.bytes)
 		}
 	}
-	return fmt.Sprintf("manifest v%d complete (%d runs, %d bytes inventoried)", m.V, len(m.Runs), totalBytes), m.Runs, nil
+	pline, err := checkProfiles(dir, m)
+	if err != nil {
+		return "", nil, err
+	}
+	line := fmt.Sprintf("manifest v%d complete (%d runs, %d bytes inventoried)", m.V, len(m.Runs), totalBytes)
+	if pline != "" {
+		line += ", " + pline
+	}
+	return line, m.Runs, nil
+}
+
+// checkProfiles validates the manifest's wall-clock profile inventory:
+// every entry must exist with matching size and SHA-256, parse as a
+// pprof proto of a known kind, and a CPU profile that captured samples
+// must carry the sweep-cell labels pprof.Do attached. Conversely every
+// profiles/*.pb.gz on disk must be inventoried. Captures without
+// profiles (the default — profiling is opt-in) stay legal.
+func checkProfiles(dir string, m obs.Manifest) (string, error) {
+	inventoried := make(map[string]bool, len(m.Profiles))
+	for _, a := range m.Profiles {
+		base := filepath.Base(a.Name)
+		kind, known := prof.KindFromFile(base)
+		if filepath.Dir(a.Name) != prof.Dir || !known {
+			return "", fmt.Errorf("profile inventory entry %q is not a %s/<kind>.pb.gz artifact", a.Name, prof.Dir)
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, a.Name))
+		if err != nil {
+			return "", fmt.Errorf("inventoried profile %s unreadable: %w", a.Name, err)
+		}
+		if int64(len(raw)) != a.Bytes {
+			return "", fmt.Errorf("%s is %d bytes, manifest says %d", a.Name, len(raw), a.Bytes)
+		}
+		sum := sha256.Sum256(raw)
+		if got := hex.EncodeToString(sum[:]); got != a.SHA256 {
+			return "", fmt.Errorf("%s content hash %s, manifest says %s", a.Name, got[:12], a.SHA256[:12])
+		}
+		p, err := prof.Parse(bytes.NewReader(raw))
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", a.Name, err)
+		}
+		// pprof labels only materialize on CPU samples, so the cell-label
+		// contract binds cpu.pb.gz alone — and only when the run was hot
+		// enough for the 100 Hz sampler to land at least one sample.
+		if kind == "cpu" && len(p.Samples) > 0 {
+			labeled := false
+			for _, s := range p.Samples {
+				if s.Labels[prof.LabelScheme] != "" && s.Labels[prof.LabelWorkload] != "" {
+					labeled = true
+					break
+				}
+			}
+			if !labeled {
+				return "", fmt.Errorf("%s: %d CPU samples but none carry the %s/%s cell labels",
+					a.Name, len(p.Samples), prof.LabelScheme, prof.LabelWorkload)
+			}
+		}
+		inventoried[base] = true
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, prof.Dir))
+	if os.IsNotExist(err) {
+		entries = nil
+	} else if err != nil {
+		return "", fmt.Errorf("scan %s: %w", prof.Dir, err)
+	}
+	onDisk := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".pb.gz") {
+			continue
+		}
+		onDisk++
+		if !inventoried[e.Name()] {
+			return "", fmt.Errorf("%s/%s exists on disk but is missing from the profile inventory", prof.Dir, e.Name())
+		}
+	}
+	if len(m.Profiles) > 0 && onDisk == 0 {
+		// Unreachable via the per-entry read above, but keep the invariant
+		// explicit: an inventory without files is a lie.
+		return "", fmt.Errorf("profile inventory lists %d artifacts but %s/ is empty", len(m.Profiles), prof.Dir)
+	}
+	if len(m.Profiles) == 0 {
+		return "", nil
+	}
+	return fmt.Sprintf("%d profiles validated", len(m.Profiles)), nil
 }
 
 // runBytes recomputes a run's JSONL byte share the same way the capture

@@ -10,6 +10,7 @@ import (
 	"heb"
 	"heb/internal/obs"
 	"heb/internal/obs/alerts"
+	"heb/internal/obs/prof"
 )
 
 // writeCapture records one real HEB-D run (probes + audit + alerts on)
@@ -209,5 +210,106 @@ func TestCheckRejectsWrongRunCounts(t *testing.T) {
 	_, _, err = check(dir, false)
 	if err == nil || !strings.Contains(err.Error(), "decisions on disk") {
 		t.Fatalf("wrong decision count accepted: %v", err)
+	}
+}
+
+// writeProfiledCapture is writeCapture with the profiling collector
+// wrapped around the run, then AttachProfiles to inventory the output.
+func writeProfiledCapture(t *testing.T, dir string, kinds []string) {
+	t.Helper()
+	c := prof.NewCollector(dir, kinds)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	writeCapture(t, dir)
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.AttachProfiles(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckAcceptsProfiledCapture(t *testing.T) {
+	dir := t.TempDir()
+	writeProfiledCapture(t, dir, []string{"cpu", "heap", "allocs"})
+	inv, _, err := check(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(inv, "3 profiles validated") {
+		t.Errorf("inventory missing profile summary: %q", inv)
+	}
+}
+
+func TestCheckRejectsTamperedProfile(t *testing.T) {
+	dir := t.TempDir()
+	writeProfiledCapture(t, dir, []string{"heap"})
+	path := filepath.Join(dir, prof.Dir, prof.FileName("heap"))
+	if err := os.WriteFile(path, []byte("not a profile"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := check(dir, false); err == nil || !strings.Contains(err.Error(), "heap.pb.gz") {
+		t.Fatalf("tampered profile accepted: %v", err)
+	}
+}
+
+func TestCheckRejectsUninventoriedProfile(t *testing.T) {
+	dir := t.TempDir()
+	writeProfiledCapture(t, dir, []string{"heap"})
+	// A second profile lands after AttachProfiles ran: the inventory is
+	// now incomplete and the capture must fail validation.
+	src, err := os.ReadFile(filepath.Join(dir, prof.Dir, prof.FileName("heap")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, prof.Dir, prof.FileName("allocs")), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := check(dir, false); err == nil || !strings.Contains(err.Error(), "missing from the profile inventory") {
+		t.Fatalf("uninventoried profile accepted: %v", err)
+	}
+}
+
+func TestCheckRejectsUnlabeledCPUProfile(t *testing.T) {
+	dir := t.TempDir()
+	writeProfiledCapture(t, dir, []string{"heap"})
+	// A heap proto renamed cpu.pb.gz: it parses and has samples, but none
+	// carry the cell labels only pprof.Do-wrapped CPU samples get.
+	src, err := os.ReadFile(filepath.Join(dir, prof.Dir, prof.FileName("heap")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, prof.Dir, prof.FileName("cpu")), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.AttachProfiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	p, err := prof.ParseFile(filepath.Join(dir, prof.Dir, prof.FileName("cpu")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Samples) == 0 {
+		t.Skip("heap profile captured no samples; nothing to validate")
+	}
+	if _, _, err := check(dir, false); err == nil || !strings.Contains(err.Error(), "cell labels") {
+		t.Fatalf("unlabeled cpu profile accepted: %v", err)
+	}
+}
+
+func TestCheckRejectsForeignProfileEntry(t *testing.T) {
+	dir := t.TempDir()
+	writeProfiledCapture(t, dir, []string{"heap"})
+	m, err := obs.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Profiles[0].Name = "profiles/bogus.pb.gz"
+	if err := obs.WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := check(dir, false); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("foreign inventory entry accepted: %v", err)
 	}
 }

@@ -9,6 +9,7 @@
 package heb
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -19,6 +20,7 @@ import (
 	"heb/internal/forecast"
 	"heb/internal/obs"
 	"heb/internal/obs/alerts"
+	"heb/internal/obs/prof"
 	"heb/internal/pat"
 	"heb/internal/power"
 	"heb/internal/runner"
@@ -442,7 +444,28 @@ type RunOptions struct {
 // Run executes one scheme on one workload trace and returns the
 // simulation result. The workload width must match the prototype's server
 // count.
+//
+// While a prof.Collector window is open (hebsim -profile) the whole run
+// executes under pprof labels {scheme, workload, seed, phase}, so CPU
+// samples attribute to the sweep cell and its lifecycle phase. The
+// disabled path costs one atomic load (BenchmarkEngineProfDisabled pins
+// its allocs/op to BenchmarkEngineStep's).
 func (p Prototype) Run(id SchemeID, workload Workload, opts RunOptions) (sim.Result, error) {
+	if !prof.Active() {
+		return p.run(id, workload, opts, nil)
+	}
+	var res sim.Result
+	var err error
+	prof.DoCell(id.String(), workload.Name(), p.Seed, func(ctx context.Context) {
+		res, err = p.run(id, workload, opts, ctx)
+	})
+	return res, err
+}
+
+// run is Run's body; profCtx is the cell-labeled context (nil when
+// profiling is off) used to switch the phase label at lifecycle
+// boundaries.
+func (p Prototype) run(id SchemeID, workload Workload, opts RunOptions, profCtx context.Context) (sim.Result, error) {
 	if err := p.Validate(); err != nil {
 		return sim.Result{}, err
 	}
@@ -661,6 +684,7 @@ func (p Prototype) Run(id SchemeID, workload Workload, opts RunOptions) (sim.Res
 		MaxSteps:        opts.MaxSteps,
 		CheckpointEvery: p.CheckpointEvery,
 		Checkpoints:     checkpointFn,
+		Prof:            profCtx,
 	})
 	if err != nil {
 		return sim.Result{}, err
@@ -691,7 +715,9 @@ func (p Prototype) Run(id SchemeID, workload Workload, opts RunOptions) (sim.Res
 			return sim.Result{}, err
 		}
 	}
+	prof.SetPhase(profCtx, prof.PhaseSteps)
 	res := eng.Run()
+	prof.SetPhase(profCtx, prof.PhaseFinish)
 	// A trailing slot the run ended inside still deserves its record, so
 	// the decision count always equals SlotCount.
 	ctrl.FlushTrace()

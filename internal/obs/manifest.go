@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -54,6 +55,12 @@ type Manifest struct {
 	// decisions.jsonl, metrics.prom and the optional deep artifacts) with
 	// sizes and content fingerprints. The manifest itself is excluded.
 	Artifacts []ArtifactInfo `json:"artifacts,omitempty"`
+	// Profiles inventories the capture's pprof artifacts
+	// (profiles/*.pb.gz). Profiles measure wall-clock behaviour and are
+	// inherently non-deterministic, so they live outside Artifacts: the
+	// byte-identity contract covers the manifest *minus this section*,
+	// and obscheck/flight-recorder comparisons strip it before diffing.
+	Profiles []ArtifactInfo `json:"profiles,omitempty"`
 }
 
 // RunManifest is one run's row in the capture index.
@@ -309,6 +316,41 @@ func SetManifestStatus(dir, status string) error {
 		return err
 	}
 	m.Status = status
+	return WriteManifest(dir, m)
+}
+
+// AttachProfiles scans dir/profiles for pprof artifacts and rewrites the
+// manifest with their inventory in the Profiles section (sorted by name).
+// A capture without profiles is left untouched. Call it after WriteFiles:
+// the deterministic sections are already final, and profile hashes only
+// ever land in the separate wall-clock inventory.
+func AttachProfiles(dir string) error {
+	entries, err := os.ReadDir(filepath.Join(dir, "profiles"))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("obs: scan profiles: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".pb.gz") {
+			names = append(names, filepath.Join("profiles", e.Name()))
+		}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	sort.Strings(names)
+	inv, err := inventory(dir, names)
+	if err != nil {
+		return err
+	}
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return err
+	}
+	m.Profiles = inv
 	return WriteManifest(dir, m)
 }
 

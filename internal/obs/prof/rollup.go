@@ -1,0 +1,208 @@
+package prof
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Frame is one function's rollup across every sample that mentions it:
+// Flat is the value where the function is the leaf, Cum the value of
+// every stack it appears in (counted once per sample even for recursive
+// frames).
+type Frame struct {
+	Name string
+	Flat int64
+	Cum  int64
+}
+
+// Rollup aggregates one or more profiles of the same kind into per-frame
+// totals, optionally grouped by a pprof label key.
+type Rollup struct {
+	// Sample identifies the aggregated value column, e.g. "cpu/nanoseconds".
+	Sample ValueType
+	// Total is the sum of the headline value across all samples.
+	Total int64
+	// Frames maps function name to its rollup.
+	Frames map[string]*Frame
+	// ByLabel groups the headline value by one label's values when a
+	// group key was requested (e.g. phase=steps -> nanos).
+	ByLabel map[string]int64
+}
+
+// NewRollup aggregates profiles into one rollup. sampleType selects the
+// value column by name ("" = the profile's headline column); groupLabel,
+// when non-empty, also buckets totals by that pprof label's values
+// (samples without the label land in "(none)"). All profiles must carry
+// the selected sample type.
+func NewRollup(profiles []*Profile, sampleType, groupLabel string) (*Rollup, error) {
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("prof: no profiles to roll up")
+	}
+	r := &Rollup{Frames: map[string]*Frame{}}
+	if groupLabel != "" {
+		r.ByLabel = map[string]int64{}
+	}
+	for _, p := range profiles {
+		idx, err := p.SampleTypeIndex(sampleType)
+		if err != nil {
+			return nil, err
+		}
+		st := p.SampleTypes[idx]
+		if r.Sample.Type == "" {
+			r.Sample = st
+		} else if r.Sample != st {
+			return nil, fmt.Errorf("prof: mixed sample types %v and %v", r.Sample, st)
+		}
+		for _, s := range p.Samples {
+			if idx >= len(s.Values) {
+				continue
+			}
+			v := s.Values[idx]
+			if v == 0 {
+				continue
+			}
+			r.Total += v
+			if r.ByLabel != nil {
+				key := s.Labels[groupLabel]
+				if key == "" {
+					key = "(none)"
+				}
+				r.ByLabel[key] += v
+			}
+			stack := p.Stack(s)
+			if len(stack) == 0 {
+				continue
+			}
+			frame := func(name string) *Frame {
+				f := r.Frames[name]
+				if f == nil {
+					f = &Frame{Name: name}
+					r.Frames[name] = f
+				}
+				return f
+			}
+			frame(stack[0]).Flat += v
+			// Cum counts each function once per sample, so recursion
+			// doesn't double-book.
+			inStack := map[string]bool{}
+			for _, name := range stack {
+				if !inStack[name] {
+					inStack[name] = true
+					frame(name).Cum += v
+				}
+			}
+		}
+	}
+	return r, nil
+}
+
+// Top returns frames sorted by Flat descending (ties by name), truncated
+// to n (n <= 0 means all).
+func (r *Rollup) Top(n int) []Frame {
+	out := make([]Frame, 0, len(r.Frames))
+	for _, f := range r.Frames {
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flat != out[j].Flat {
+			return out[i].Flat > out[j].Flat
+		}
+		return out[i].Name < out[j].Name
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// FlatPct is a frame's flat value as a percentage of the rollup total.
+func (r *Rollup) FlatPct(f Frame) float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 100 * float64(f.Flat) / float64(r.Total)
+}
+
+// DiffRow is one frame's before/after comparison. Pcts are of each
+// side's own total, so diffs are robust to different run lengths.
+type DiffRow struct {
+	Name              string
+	BaseFlat, NewFlat int64
+	BasePct, NewPct   float64
+	// DeltaPct is NewPct - BasePct in percentage points.
+	DeltaPct float64
+}
+
+// Diff compares two rollups frame by frame, returning rows sorted by
+// |DeltaPct| descending. Frames below minPct flat share on both sides
+// are dropped as noise.
+func Diff(base, cur *Rollup, minPct float64) []DiffRow {
+	names := map[string]bool{}
+	for n := range base.Frames {
+		names[n] = true
+	}
+	for n := range cur.Frames {
+		names[n] = true
+	}
+	var rows []DiffRow
+	for n := range names {
+		row := DiffRow{Name: n}
+		if f, ok := base.Frames[n]; ok {
+			row.BaseFlat = f.Flat
+			row.BasePct = base.FlatPct(*f)
+		}
+		if f, ok := cur.Frames[n]; ok {
+			row.NewFlat = f.Flat
+			row.NewPct = cur.FlatPct(*f)
+		}
+		if row.BasePct < minPct && row.NewPct < minPct {
+			continue
+		}
+		row.DeltaPct = row.NewPct - row.BasePct
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		di, dj := abs(rows[i].DeltaPct), abs(rows[j].DeltaPct)
+		if di != dj {
+			return di > dj
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// FormatValue renders a sample value in its unit (ms for nanoseconds,
+// KB/MB for bytes, plain for counts).
+func FormatValue(v int64, unit string) string {
+	switch unit {
+	case "nanoseconds":
+		return fmt.Sprintf("%.1fms", float64(v)/1e6)
+	case "bytes":
+		switch {
+		case v >= 1<<20:
+			return fmt.Sprintf("%.1fMB", float64(v)/(1<<20))
+		case v >= 1<<10:
+			return fmt.Sprintf("%.1fKB", float64(v)/(1<<10))
+		}
+		return fmt.Sprintf("%dB", v)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}
+
+// ShortName trims a fully qualified Go symbol to pkg.Func for table
+// display: "heb/internal/sim.(*Engine).Run" -> "sim.(*Engine).Run".
+func ShortName(name string) string {
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}

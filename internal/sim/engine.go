@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -16,6 +17,7 @@ import (
 	"heb/internal/esd"
 	"heb/internal/obs"
 	"heb/internal/obs/alerts"
+	"heb/internal/obs/prof"
 	"heb/internal/power"
 	"heb/internal/trace"
 	"heb/internal/units"
@@ -164,6 +166,15 @@ type Config struct {
 	// run_end event). It is the substrate of windowed replay and of the
 	// kill half of kill-and-resume tests.
 	MaxSteps int
+
+	// Prof, when set, is the cell-labeled pprof context (see
+	// internal/obs/prof): at control-slot boundaries the engine flips the
+	// goroutine's phase label to "plan" around finishSlot/planSlot and
+	// back to "steps" after, so CPU samples separate the control path
+	// from the hot loop. Nil (profiling off) is the fast path: the label
+	// switch is never evaluated inside the per-step loop, only at slot
+	// boundaries, and a nil context returns immediately.
+	Prof context.Context
 }
 
 // StepInfo is the per-tick state snapshot passed to Config.Observer.
@@ -462,7 +473,13 @@ func (e *Engine) Run() Result {
 	span := cfg.Spans
 	span.Begin("run", "engine")
 	if e.startStep == 0 {
+		if cfg.Prof != nil {
+			prof.SetPhase(cfg.Prof, prof.PhasePlan)
+		}
 		e.planSlot(0)
+		if cfg.Prof != nil {
+			prof.SetPhase(cfg.Prof, prof.PhaseSteps)
+		}
 	}
 	batch := 0
 	aborted := false
@@ -474,10 +491,16 @@ func (e *Engine) Run() Result {
 				span.End()
 				batch = 0
 			}
+			if cfg.Prof != nil {
+				prof.SetPhase(cfg.Prof, prof.PhasePlan)
+			}
 			e.finishSlot()
 			e.planSlot(now)
 			if cfg.Checkpoints != nil && cfg.CheckpointEvery > 0 && (i/slotSteps)%cfg.CheckpointEvery == 0 {
 				e.emitCheckpoint(i/slotSteps, i, now)
+			}
+			if cfg.Prof != nil {
+				prof.SetPhase(cfg.Prof, prof.PhaseSteps)
 			}
 		}
 		if cfg.MaxSteps > 0 && i >= cfg.MaxSteps {

@@ -47,22 +47,26 @@ func NewProcMetrics(reg *obs.Registry) *ProcMetrics {
 }
 
 // Sample reads the runtime state into the gauges and advances the GC
-// counters by the delta since the previous sample.
+// counters by the delta since the previous sample. The whole read+apply
+// runs under the mutex: concurrent scrapes each call ReadMemStats, and
+// if a stale snapshot applied its delta after a fresher one, the
+// unsigned subtraction would wrap and inflate the counters by ~2^32.
 func (p *ProcMetrics) Sample() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	p.heapAlloc.Set(float64(ms.HeapAlloc))
 	p.heapObjects.Set(float64(ms.HeapObjects))
 	p.goroutines.Set(float64(runtime.NumGoroutine()))
 
-	p.mu.Lock()
-	gcDelta := ms.NumGC - p.lastNumGC
-	pauseDelta := ms.PauseTotalNs - p.lastPauseNs
+	if ms.NumGC >= p.lastNumGC && ms.PauseTotalNs >= p.lastPauseNs {
+		p.gcRuns.Add(float64(ms.NumGC - p.lastNumGC))
+		p.gcPause.Add(float64(ms.PauseTotalNs-p.lastPauseNs) / 1e9)
+	}
 	p.lastNumGC = ms.NumGC
 	p.lastPauseNs = ms.PauseTotalNs
-	p.mu.Unlock()
-	p.gcRuns.Add(float64(gcDelta))
-	p.gcPause.Add(float64(pauseDelta) / 1e9)
 }
 
 // Handler wraps next (conventionally the registry's /metrics handler) so

@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"math"
+	"net/http"
+	"runtime/metrics"
+	"sync"
+
+	"heb/internal/obs"
+)
+
+// RuntimeMetrics exports a curated slice of runtime/metrics as the
+// heb_runtime_* family — the scheduler- and GC-level signals the
+// heb_proc_* MemStats view cannot see:
+//
+//	heb_runtime_gc_pause_seconds{q}      gauge, GC stop-the-world pause quantiles
+//	heb_runtime_sched_latency_seconds{q} gauge, goroutine scheduling latency quantiles
+//	heb_runtime_heap_goal_bytes          gauge, the pacer's current heap target
+//	heb_runtime_gomaxprocs               gauge
+//	heb_runtime_cpu_utilization          gauge, 0..1 non-idle share of GOMAXPROCS
+//	                                     since the previous sample
+//
+// The runtime publishes pauses and latencies as histograms of all-time
+// totals; obs.Histogram only ingests individual observations, so the
+// distributions surface as quantile-labeled gauges instead. Like
+// ProcMetrics, values are pulled: call Sample before serving /metrics or
+// wrap the handler.
+type RuntimeMetrics struct {
+	gcPause  map[string]*obs.Gauge
+	schedLat map[string]*obs.Gauge
+	heapGoal *obs.Gauge
+	maxProcs *obs.Gauge
+	cpuUtil  *obs.Gauge
+
+	mu       sync.Mutex
+	samples  []metrics.Sample
+	lastIdle float64 // cumulative /cpu/classes/idle:cpu-seconds
+	lastAll  float64 // cumulative /cpu/classes/total:cpu-seconds
+	primed   bool
+}
+
+// runtimeQuantiles are the points reported for each runtime histogram.
+var runtimeQuantiles = []struct {
+	label string
+	q     float64
+}{{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}}
+
+// The runtime/metrics names RuntimeMetrics reads, in samples order.
+const (
+	rmGCPause  = "/sched/pauses/total/gc:seconds"
+	rmSchedLat = "/sched/latencies:seconds"
+	rmHeapGoal = "/gc/heap/goal:bytes"
+	rmMaxProcs = "/sched/gomaxprocs:threads"
+	rmCPUIdle  = "/cpu/classes/idle:cpu-seconds"
+	rmCPUAll   = "/cpu/classes/total:cpu-seconds"
+)
+
+// NewRuntimeMetrics registers the heb_runtime_* family on reg (nil gets a
+// private registry).
+func NewRuntimeMetrics(reg *obs.Registry) *RuntimeMetrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	r := &RuntimeMetrics{
+		gcPause:  map[string]*obs.Gauge{},
+		schedLat: map[string]*obs.Gauge{},
+		heapGoal: reg.Gauge("heb_runtime_heap_goal_bytes", "GC pacer heap goal (/gc/heap/goal)."),
+		maxProcs: reg.Gauge("heb_runtime_gomaxprocs", "GOMAXPROCS at the latest sample."),
+		cpuUtil: reg.Gauge("heb_runtime_cpu_utilization",
+			"Non-idle share (0..1) of available CPU since the previous sample (/cpu/classes)."),
+	}
+	for _, pt := range runtimeQuantiles {
+		lbl := obs.Label{Name: "q", Value: pt.label}
+		r.gcPause[pt.label] = reg.Gauge("heb_runtime_gc_pause_seconds",
+			"GC stop-the-world pause distribution quantiles (/sched/pauses/total/gc).", lbl)
+		r.schedLat[pt.label] = reg.Gauge("heb_runtime_sched_latency_seconds",
+			"Goroutine scheduling latency distribution quantiles (/sched/latencies).", lbl)
+	}
+	r.samples = []metrics.Sample{
+		{Name: rmGCPause}, {Name: rmSchedLat}, {Name: rmHeapGoal},
+		{Name: rmMaxProcs}, {Name: rmCPUIdle}, {Name: rmCPUAll},
+	}
+	return r
+}
+
+// Sample refreshes every heb_runtime_* gauge from runtime/metrics. Safe
+// for concurrent scrapes.
+func (r *RuntimeMetrics) Sample() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	metrics.Read(r.samples)
+	for i := range r.samples {
+		s := &r.samples[i]
+		switch s.Name {
+		case rmGCPause:
+			setHistogramQuantiles(r.gcPause, s.Value)
+		case rmSchedLat:
+			setHistogramQuantiles(r.schedLat, s.Value)
+		case rmHeapGoal:
+			if s.Value.Kind() == metrics.KindUint64 {
+				r.heapGoal.Set(float64(s.Value.Uint64()))
+			}
+		case rmMaxProcs:
+			if s.Value.Kind() == metrics.KindUint64 {
+				r.maxProcs.Set(float64(s.Value.Uint64()))
+			}
+		}
+	}
+	r.sampleCPU()
+}
+
+// sampleCPU turns the cumulative /cpu/classes counters into a busy-share
+// gauge over the window since the previous sample. Caller holds mu.
+func (r *RuntimeMetrics) sampleCPU() {
+	idleS, allS := r.samples[4], r.samples[5]
+	if idleS.Value.Kind() != metrics.KindFloat64 || allS.Value.Kind() != metrics.KindFloat64 {
+		return
+	}
+	idle, all := idleS.Value.Float64(), allS.Value.Float64()
+	dIdle, dAll := idle-r.lastIdle, all-r.lastAll
+	r.lastIdle, r.lastAll = idle, all
+	if !r.primed {
+		// First sample covers process lifetime, not a scrape window.
+		r.primed = true
+		dIdle, dAll = idle, all
+	}
+	if dAll > 0 && dIdle >= 0 && dIdle <= dAll {
+		r.cpuUtil.Set(1 - dIdle/dAll)
+	}
+}
+
+// setHistogramQuantiles projects a runtime Float64Histogram onto the
+// quantile gauges.
+func setHistogramQuantiles(gauges map[string]*obs.Gauge, v metrics.Value) {
+	if v.Kind() != metrics.KindFloat64Histogram {
+		return
+	}
+	h := v.Float64Histogram()
+	for _, pt := range runtimeQuantiles {
+		gauges[pt.label].Set(histogramQuantile(h, pt.q))
+	}
+}
+
+// histogramQuantile estimates quantile q from a runtime histogram: the
+// lower bound of the first bucket whose cumulative count reaches
+// q*total. Buckets[i], Buckets[i+1] bound Counts[i]; infinite edges
+// collapse to the nearest finite boundary. Returns 0 for an empty
+// histogram.
+func histogramQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			lo, hi := h.Buckets[i], h.Buckets[i+1]
+			if !math.IsInf(lo, 0) {
+				return lo
+			}
+			if !math.IsInf(hi, 0) {
+				return hi
+			}
+			return 0
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// Handler wraps next so every scrape sees fresh runtime gauges.
+func (r *RuntimeMetrics) Handler(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		r.Sample()
+		next.ServeHTTP(w, req)
+	})
+}

@@ -14,30 +14,61 @@
 # deep layer (per-device probes + energy auditor + span tracer), the
 # Checkpoint pair for the flight recorder (state snapshots at slot
 # boundaries), the Manifest pair for the capture run-index layer
-# (manifest rows built from contributed artifacts, no file IO), and the
-# Alerts pair for the online SLO rule engine (internal/obs/alerts).
+# (manifest rows built from contributed artifacts, no file IO), the
+# Alerts pair for the online SLO rule engine (internal/obs/alerts), and
+# the Prof pair for the labeled profile capture layer (internal/obs/prof
+# cell labels on the engine hot loop).
 #
 # Usage:
 #   scripts/bench.sh [sweep.json [obs.json]]   measure and write baselines
 #   scripts/bench.sh -check                    measure and compare against
 #                                              the committed baselines
+#   scripts/bench.sh -profile [prof.json]      attribute the engine hot
+#                                              loop: run BenchmarkEngineStep
+#                                              under -memprofile and rewrite
+#                                              the BENCH_prof.json top-frames
+#                                              baseline via hebprof check
 #
 # -check tolerances: allocs/op must match the baseline exactly (the
 # allocation counts are deterministic); ns/op may regress by at most
 # 50% (wall-clock is noisy across machines, so only gross regressions
-# fail). Exits non-zero on any violation.
+# fail). When BENCH_prof.json is committed, -check additionally re-runs
+# the engine memprofile and gates its frame shares through `hebprof
+# check` (new frames >= 3% flat, known frames grown past 1.5x fail).
+# Exits non-zero on any violation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 check=0
-if [[ "${1:-}" == "-check" ]]; then
-	check=1
-	shift
-fi
+profile=0
+case "${1:-}" in
+-check) check=1; shift ;;
+-profile) profile=1; shift ;;
+esac
 sweep_out="${1:-BENCH_sweep.json}"
 obs_out="${2:-BENCH_obs.json}"
+prof_base="BENCH_prof.json"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+scratch="$(mktemp -d)"
+trap 'rm -f "$raw"; rm -rf "$scratch"' EXIT
+
+# engine_memprofile reruns the hot-loop benchmark under the allocation
+# profiler and leaves the pprof proto at $scratch/engine_mem.pprof.
+engine_memprofile() {
+	go test -run '^$' -bench 'BenchmarkEngineStep$' -count=1 \
+		-memprofile "$scratch/engine_mem.pprof" -outputdir "$scratch" . >/dev/null
+	rm -f heb.test
+}
+
+if [[ "$profile" == 1 ]]; then
+	prof_base="${1:-BENCH_prof.json}"
+	echo "profiling BenchmarkEngineStep (allocation attribution)..."
+	engine_memprofile
+	go run ./cmd/hebprof check -update -baseline "$prof_base" -sample alloc_space \
+		-source "scripts/bench.sh -profile: go test -bench BenchmarkEngineStep -memprofile" \
+		"$scratch/engine_mem.pprof"
+	exit 0
+fi
 
 # to_json parses `go test -bench` output on stdin into one JSON object
 # per benchmark with ns/op, allocs/op, B/op and simSteps/s.
@@ -131,4 +162,15 @@ run_set() {
 }
 
 run_set 'BenchmarkMultiSeedSequential|BenchmarkMultiSeedParallel|BenchmarkEngineStep$' "$sweep_out"
-run_set 'BenchmarkEngineObsDisabled|BenchmarkEngineObsEnabled|BenchmarkEngineProbesDisabled|BenchmarkEngineProbesEnabled|BenchmarkEngineCheckpointDisabled|BenchmarkEngineCheckpointEnabled|BenchmarkEngineManifestDisabled|BenchmarkEngineManifestEnabled|BenchmarkEngineAlertsDisabled|BenchmarkEngineAlertsEnabled' "$obs_out"
+run_set 'BenchmarkEngineObsDisabled|BenchmarkEngineObsEnabled|BenchmarkEngineProbesDisabled|BenchmarkEngineProbesEnabled|BenchmarkEngineCheckpointDisabled|BenchmarkEngineCheckpointEnabled|BenchmarkEngineManifestDisabled|BenchmarkEngineManifestEnabled|BenchmarkEngineAlertsDisabled|BenchmarkEngineAlertsEnabled|BenchmarkEngineProfDisabled|BenchmarkEngineProfEnabled' "$obs_out"
+
+# Profile gate: with a committed top-frames baseline, re-attribute the
+# engine hot loop and fail on new or grown frames (same gate hebprof
+# check and hebwatch bench apply to profiled captures).
+if [[ "$check" == 1 && -f "$prof_base" ]]; then
+	engine_memprofile
+	if ! go run ./cmd/hebprof check -baseline "$prof_base" "$scratch/engine_mem.pprof"; then
+		echo "bench.sh: profile regression against $prof_base" >&2
+		exit 1
+	fi
+fi

@@ -39,6 +39,17 @@
 # capture (exit 1) while passing the clean one, hebwatch diff
 # self-compares clean, and hebwatch bench accepts the committed
 # BENCH_obs.json baseline against itself.
+#
+# Phase 6 exercises the labeled profile capture and hebprof: a profiled
+# multiseed sweep (-profile cpu,heap,allocs) lands pprof protos in
+# <obs>/profiles/ that obscheck validates against the manifest's
+# profiles inventory (CPU samples must carry cell labels), hebprof top
+# attributes the allocation frames and buckets CPU by scheme, diff
+# self-compares clean, check -update then gates its own baseline OK
+# while a seeded fake baseline fails, hebwatch bench routes a profile
+# baseline to the same gate, and a differently-parallel profiled rerun
+# keeps every deterministic artifact byte-identical (manifest compared
+# with its wall-clock profiles section stripped).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -210,5 +221,70 @@ grep -q "health=critical" "$dir/score_breach.txt" ||
 	{ echo "obs smoke: hebwatch diff dirtied a self-compare" >&2; exit 1; }
 "$dir/hebwatch" bench BENCH_obs.json BENCH_obs.json | grep -q "within tolerance" ||
 	{ echo "obs smoke: hebwatch bench rejected the committed baseline" >&2; exit 1; }
+
+echo "== obs smoke: labeled profiles + hebprof round-trip =="
+go build -o "$dir/hebprof" ./cmd/hebprof
+# A multiseed sweep burns enough CPU for the 100 Hz sampler to land
+# labeled samples; 24h simulated per cell keeps the phase fast.
+go run ./cmd/hebsim -exp multiseed -duration 24h -workers 2 \
+	-obs "$dir/prof_a" -profile cpu,heap,allocs >"$dir/prof_a_stdout.txt"
+for k in cpu heap allocs; do
+	[[ -s "$dir/prof_a/profiles/$k.pb.gz" ]] ||
+		{ echo "obs smoke: profiles/$k.pb.gz missing or empty" >&2; exit 1; }
+done
+# obscheck must verify the inventory (existence, hashes, parse, and the
+# cell labels on the CPU samples).
+go run ./cmd/obscheck "$dir/prof_a" | grep -q "3 profiles validated" ||
+	{ echo "obs smoke: obscheck did not validate the profile inventory" >&2; exit 1; }
+
+"$dir/hebprof" top -kind allocs "$dir/prof_a" >"$dir/top_allocs.txt"
+grep -q "alloc_space/bytes" "$dir/top_allocs.txt" ||
+	{ echo "obs smoke: hebprof top did not aggregate alloc_space" >&2; exit 1; }
+"$dir/hebprof" top -kind cpu -by scheme "$dir/prof_a" >"$dir/top_cpu.txt"
+grep -q "by scheme:" "$dir/top_cpu.txt" ||
+	{ echo "obs smoke: hebprof top -by scheme lacks the label buckets" >&2; exit 1; }
+
+# diff against itself is clean; check -update writes a baseline the
+# same capture then passes, while a fabricated baseline whose dominant
+# frame never ran must fail the gate.
+"$dir/hebprof" diff -kind allocs "$dir/prof_a" "$dir/prof_a" | grep -q "Δpp" ||
+	{ echo "obs smoke: hebprof diff lacks the delta column" >&2; exit 1; }
+"$dir/hebprof" check -kind allocs -baseline "$dir/prof_baseline.json" -update \
+	-source "obs_smoke phase 6" "$dir/prof_a" >/dev/null
+"$dir/hebprof" check -kind allocs -baseline "$dir/prof_baseline.json" "$dir/prof_a" |
+	grep -q "profile check OK" ||
+	{ echo "obs smoke: hebprof check rejected its own baseline" >&2; exit 1; }
+printf '%s\n' '{"v":1,"sample":"alloc_space/bytes","frames":[{"name":"no.suchFrame","flat_pct":95}]}' \
+	>"$dir/prof_fake.json"
+if "$dir/hebprof" check -kind allocs -baseline "$dir/prof_fake.json" "$dir/prof_a" \
+	>"$dir/check_fake.txt"; then
+	echo "obs smoke: hebprof check passed a fabricated baseline" >&2; exit 1
+fi
+grep -q "new-frame" "$dir/check_fake.txt" ||
+	{ echo "obs smoke: hebprof check did not flag the new frames" >&2; exit 1; }
+# hebwatch bench recognizes a profile baseline and routes it to the
+# same gate the benchmark-timings comparator would otherwise get.
+"$dir/hebwatch" bench "$dir/prof_a" "$dir/prof_baseline.json" | grep -q "within tolerance" ||
+	{ echo "obs smoke: hebwatch bench rejected the profile baseline" >&2; exit 1; }
+
+# Determinism with profiling on: a differently-parallel rerun keeps the
+# deterministic artifacts byte-identical; only the wall-clock profiles
+# section of the manifest may differ.
+go run ./cmd/hebsim -exp multiseed -duration 24h -workers 1 \
+	-obs "$dir/prof_b" -profile cpu,heap,allocs >/dev/null
+for f in events.jsonl decisions.jsonl metrics.prom; do
+	cmp -s "$dir/prof_a/$f" "$dir/prof_b/$f" ||
+		{ echo "obs smoke: $f differs across -workers with profiling on" >&2; exit 1; }
+done
+if ! python3 - "$dir/prof_a/manifest.json" "$dir/prof_b/manifest.json" <<'EOF'
+import json, sys
+a, b = (json.load(open(p)) for p in sys.argv[1:3])
+for m in (a, b):
+    m.pop("profiles", None)
+sys.exit(0 if a == b else 1)
+EOF
+then
+	echo "obs smoke: manifests differ outside the profiles section" >&2; exit 1
+fi
 
 echo "obs smoke: OK"
