@@ -42,9 +42,10 @@ func PredictionAblation(p Prototype, w Workload, duration time.Duration) ([]Pred
 	// parallel on the shared pool; the oracle run must wait for the
 	// Holt-Winters pass, whose measured slot extremes prime it.
 	schemes := []SchemeID{HEBF, HEBD}
-	firstTwo, err := runner.Map(context.Background(), len(schemes), 0,
-		func(_ context.Context, i int) (sim.Result, error) {
-			return p.Run(schemes[i], w, opts)
+	cache := NewRunCache(runner.Workers(0, len(schemes)))
+	firstTwo, err := runner.MapWorkers(context.Background(), len(schemes), 0,
+		func(_ context.Context, worker, i int) (sim.Result, error) {
+			return p.RunWith(cache, worker, schemes[i], w, opts)
 		})
 	if err != nil {
 		return nil, err
@@ -192,10 +193,11 @@ func AgingAblation(p Prototype, w Workload, preAge float64, duration time.Durati
 	}
 	w = w.WithDuration(duration)
 	schemes := []SchemeID{HEBS, HEBD}
-	return runner.Map(context.Background(), len(schemes), 0,
-		func(_ context.Context, i int) (AgingAblationRow, error) {
+	cache := NewRunCache(runner.Workers(0, len(schemes)))
+	return runner.MapWorkers(context.Background(), len(schemes), 0,
+		func(_ context.Context, worker, i int) (AgingAblationRow, error) {
 			id := schemes[i]
-			res, err := p.Run(id, w, RunOptions{Duration: duration})
+			res, err := p.RunWith(cache, worker, id, w, RunOptions{Duration: duration})
 			if err != nil {
 				return AgingAblationRow{}, err
 			}
@@ -235,9 +237,12 @@ func SeasonalityAblation(p Prototype, w Workload, days int) ([]PredictionAblatio
 		{Duration: duration},
 		{Duration: duration, PeakPredictor: mkSeasonal(), ValleyPredictor: mkSeasonal()},
 	}
-	results, err := runner.Map(context.Background(), len(variants), 0,
-		func(_ context.Context, i int) (sim.Result, error) {
-			return p.Run(HEBD, w, variants[i])
+	// The seasonal variant injects its own predictors, so only the
+	// seasonless arm is poolable; RunWith routes each accordingly.
+	cache := NewRunCache(runner.Workers(0, len(variants)))
+	results, err := runner.MapWorkers(context.Background(), len(variants), 0,
+		func(_ context.Context, worker, i int) (sim.Result, error) {
+			return p.RunWith(cache, worker, HEBD, w, variants[i])
 		})
 	if err != nil {
 		return nil, err

@@ -385,6 +385,89 @@ func BenchmarkEngineStep(b *testing.B) {
 	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "simSteps/s")
 }
 
+// BenchmarkEngineReuse measures the pooled-reuse path: the same HEB-D
+// hour as BenchmarkEngineStep, but every iteration checks the run state
+// out of a warmed RunCache and resets it instead of rebuilding. This is
+// the per-cell cost a sweep pays from its second cell on; the allocs/op
+// column is the zero-alloc headline (target: under 100 allocations for
+// the entire construct–step–finish cycle, vs ~6.5k for a fresh engine).
+func BenchmarkEngineReuse(b *testing.B) {
+	p := DefaultPrototype()
+	pr, err := WorkloadNamed("PR")
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl := pr.WithDuration(time.Hour)
+	if _, err := wl.Trace(p); err != nil {
+		b.Fatal(err)
+	}
+	opts := RunOptions{Duration: time.Hour}
+	// One cold run populates the pool; timed iterations all reuse.
+	cache := NewRunCache(1)
+	if _, err := p.RunWith(cache, 0, HEBD, wl, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	steps := 0
+	for i := 0; i < b.N; i++ {
+		res, err := p.RunWith(cache, 0, HEBD, wl, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += res.Steps
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "simSteps/s")
+}
+
+// BenchmarkCheckpointDelta measures the flight recorder's delta-encoded
+// chain: the HEB-D hour snapshotting every slot into a discarding sink,
+// keyframes every obs.DefaultKeyframeEvery records and suffix-spliced
+// deltas between. Compare against BenchmarkEngineCheckpointDisabled for
+// the overhead ratio (target: under 1.2x ns/op and under 400 KB/op —
+// full-state chains cost ~2 MB/op) and see ckptKB/op for the bytes the
+// chain itself carries.
+func BenchmarkCheckpointDelta(b *testing.B) {
+	p := DefaultPrototype()
+	p.CheckpointEvery = 1
+	pr, err := WorkloadNamed("PR")
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl := pr.WithDuration(time.Hour)
+	if _, err := wl.Trace(p); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	steps := 0
+	var chainBytes, deltas, records int
+	for i := 0; i < b.N; i++ {
+		chainBytes, deltas, records = 0, 0, 0
+		opts := RunOptions{
+			Duration: time.Hour,
+			CheckpointSink: func(r obs.CheckpointRecord) {
+				chainBytes += len(r.State)
+				records++
+				if r.Delta {
+					deltas++
+				}
+			},
+		}
+		res, err := p.Run(HEBD, wl, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += res.Steps
+	}
+	if records == 0 || deltas == 0 {
+		b.Fatalf("chain carried %d records / %d deltas; delta encoding not exercised", records, deltas)
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "simSteps/s")
+	b.ReportMetric(float64(chainBytes)/1024, "ckptKB/op")
+	b.ReportMetric(float64(deltas)/float64(records), "deltaShare")
+}
+
 // benchEngineObs runs the HEB-D hour with the observability layer either
 // fully off (nil sinks — the allocation-free fast path every sweep takes
 // by default) or fully on (event log + decision trace). Comparing the

@@ -27,3 +27,25 @@ type runObsState struct {
 	Decisions     []obs.DecisionRecord    `json:"decisions,omitempty"`
 	Probes        *obs.ProbeRecorderState `json:"probes,omitempty"`
 }
+
+// runCheckpointDelta is runCheckpointState for delta records: Engine
+// carries the engine's own delta encoding and Obs the suffixed logs.
+type runCheckpointDelta struct {
+	Engine json.RawMessage `json:"engine"`
+	Obs    *runObsDelta    `json:"obs,omitempty"`
+}
+
+// runObsDelta is runObsState delta-encoded: the append-only event and
+// decision logs carry only the entries recorded since the previous
+// checkpoint, tagged with the "<key>@base" splice offsets that
+// obs.MaterializeAt understands. The suffix fields drop omitempty so an
+// idle slot still records its splice point. The probe rings are bounded
+// (old samples are overwritten in place), so they travel in full.
+type runObsDelta struct {
+	Events        []obs.Event             `json:"events"`
+	EventsBase    int                     `json:"events@base"`
+	EventsDropped int                     `json:"events_dropped,omitempty"`
+	Decisions     []obs.DecisionRecord    `json:"decisions"`
+	DecisionsBase int                     `json:"decisions@base"`
+	Probes        *obs.ProbeRecorderState `json:"probes,omitempty"`
+}

@@ -74,10 +74,14 @@ func ignoreSet(s string) map[string]bool {
 // side is one run's recorded artifacts: its checkpoint group plus the
 // optional decision/event traces filtered to the same run.
 type side struct {
-	dir    string
-	run    string
-	bySlot map[int]obs.CheckpointRecord
-	slots  []int
+	dir string
+	run string
+	// records is the full validated chain (all runs); delta records
+	// materialize against it. bySlot maps this run's slots to indices
+	// into records.
+	records []obs.CheckpointRecord
+	bySlot  map[int]int
+	slots   []int
 	// decisions and events are nil when the directory has no such file.
 	decisions []obs.DecisionRecord
 	events    []obs.Event
@@ -104,12 +108,12 @@ func loadSide(dir, runKey string) (*side, error) {
 	if runKey == "" {
 		runKey = records[len(records)-1].Run
 	}
-	s := &side{dir: dir, run: runKey, bySlot: make(map[int]obs.CheckpointRecord)}
-	for _, r := range records {
+	s := &side{dir: dir, run: runKey, records: records, bySlot: make(map[int]int)}
+	for i, r := range records {
 		if r.Run != runKey {
 			continue
 		}
-		s.bySlot[r.Slot] = r
+		s.bySlot[r.Slot] = i
 		s.slots = append(s.slots, r.Slot)
 	}
 	if len(s.slots) == 0 {
@@ -149,10 +153,25 @@ func loadSide(dir, runKey string) (*side, error) {
 func (s *side) slotSeconds() float64 {
 	for _, slot := range s.slots {
 		if slot > 0 {
-			return s.bySlot[slot].Seconds / float64(slot)
+			return s.rec(slot).Seconds / float64(slot)
 		}
 	}
 	return 0
+}
+
+// rec returns the side's checkpoint record for a slot.
+func (s *side) rec(slot int) obs.CheckpointRecord {
+	return s.records[s.bySlot[slot]]
+}
+
+// state returns the full engine+obs state at a slot, materializing delta
+// records against their keyframe chain.
+func (s *side) state(slot int) ([]byte, error) {
+	raw, err := obs.MaterializeAt(s.records, s.bySlot[slot])
+	if err != nil {
+		return nil, fmt.Errorf("%s: slot %d: %w", s.dir, slot, err)
+	}
+	return raw, nil
 }
 
 // decision returns the side's record for a 1-based control slot.
@@ -189,14 +208,28 @@ func bisect(w *os.File, dirA, dirB, runA, runB string, tol float64, ignore map[s
 	fmt.Fprintf(w, "A: %s run %q, checkpoints at slots %d-%d\n", a.dir, a.run, a.slots[0], a.slots[len(a.slots)-1])
 	fmt.Fprintf(w, "B: %s run %q, checkpoints at slots %d-%d\n", b.dir, b.run, b.slots[0], b.slots[len(b.slots)-1])
 
+	var diffErr error
 	diffAt := func(i int) []obs.FieldDiff {
 		slot := common[i]
-		return obs.DiffJSON(a.bySlot[slot].State, b.bySlot[slot].State, tol, ignore)
+		sa, err := a.state(slot)
+		if err != nil {
+			diffErr = err
+			return nil
+		}
+		sb, err := b.state(slot)
+		if err != nil {
+			diffErr = err
+			return nil
+		}
+		return obs.DiffJSON(sa, sb, tol, ignore)
 	}
 	// The simulator is deterministic: states equal at slot s stay equal at
 	// every later checkpoint, so "diverged" is monotone over the common
 	// slots and sort.Search lands exactly on the first divergence.
 	first := sort.Search(len(common), func(i int) bool { return len(diffAt(i)) > 0 })
+	if diffErr != nil {
+		return false, diffErr
+	}
 	if first == len(common) {
 		fmt.Fprintf(w, "no divergence across %d common checkpoints (slots %d-%d)\n",
 			len(common), common[0], common[len(common)-1])
@@ -206,7 +239,7 @@ func bisect(w *os.File, dirA, dirB, runA, runB string, tol float64, ignore map[s
 	slot := common[first]
 	diffs := diffAt(first)
 	fmt.Fprintf(w, "\nfirst divergence at checkpoint slot %d (t=%gs, step %d)\n",
-		slot, a.bySlot[slot].Seconds, a.bySlot[slot].Step)
+		slot, a.rec(slot).Seconds, a.rec(slot).Step)
 	if first == 0 {
 		fmt.Fprintf(w, "runs differ at the earliest common checkpoint; divergence is at or before control slot %d\n", slot)
 	} else {

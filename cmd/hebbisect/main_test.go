@@ -24,7 +24,7 @@ func writeChain(t *testing.T, dir string, slots int, stateAt func(slot int) any)
 		if err != nil {
 			t.Fatal(err)
 		}
-		log.Append(s, s*600, float64(s*600), raw)
+		log.Append(s, s*600, float64(s*600), raw, false)
 	}
 	records := log.Records()
 	for i := range records {
@@ -208,6 +208,17 @@ func record(t *testing.T, dir string, budget float64) {
 	}
 	if _, err := p.Run(heb.HEBD, pr.WithDuration(2*time.Hour), opts); err != nil {
 		t.Fatal(err)
+	}
+	// The 2h chain spans a keyframe boundary, so the bisect round-trip
+	// below exercises delta materialization, not just stored keyframes.
+	var deltas int
+	for _, r := range records {
+		if r.Delta {
+			deltas++
+		}
+	}
+	if deltas == 0 {
+		t.Fatalf("recorded chain carries no delta records (%d records)", len(records))
 	}
 	f, err := os.Create(filepath.Join(dir, "checkpoints.jsonl"))
 	if err != nil {

@@ -178,8 +178,10 @@ func TestBenchDrift(t *testing.T) {
 	dir := t.TempDir()
 	base := filepath.Join(dir, "base.json")
 	writeBench(t, base, `{"benchmarks": [
-  {"name":"BenchmarkEngineStep","ns_per_op":1000,"allocs_per_op":6575,"bytes_per_op":246000,"sim_steps_per_second":null},
-  {"name":"BenchmarkEngineAlertsDisabled","ns_per_op":1000,"allocs_per_op":6575,"bytes_per_op":246000,"sim_steps_per_second":null}
+  {"name":"BenchmarkEngineStep","ns_per_op":1000,"allocs_per_op":897,"bytes_per_op":156000,"sim_steps_per_second":null},
+  {"name":"BenchmarkEngineReuse","ns_per_op":1000,"allocs_per_op":62,"bytes_per_op":9300,"sim_steps_per_second":null},
+  {"name":"BenchmarkCheckpointDelta","ns_per_op":1300,"allocs_per_op":1064,"bytes_per_op":352000,"sim_steps_per_second":null},
+  {"name":"BenchmarkEngineAlertsDisabled","ns_per_op":1000,"allocs_per_op":897,"bytes_per_op":156000,"sim_steps_per_second":null}
 ]}`)
 
 	// Identical file: clean.
@@ -196,7 +198,9 @@ func TestBenchDrift(t *testing.T) {
 	// missing benchmarks count too.
 	cur := filepath.Join(dir, "cur.json")
 	writeBench(t, cur, `{"benchmarks": [
-  {"name":"BenchmarkEngineStep","ns_per_op":1600,"allocs_per_op":6580,"bytes_per_op":246000,"sim_steps_per_second":null}
+  {"name":"BenchmarkEngineStep","ns_per_op":1600,"allocs_per_op":902,"bytes_per_op":156000,"sim_steps_per_second":null},
+  {"name":"BenchmarkEngineReuse","ns_per_op":1000,"allocs_per_op":62,"bytes_per_op":9300,"sim_steps_per_second":null},
+  {"name":"BenchmarkCheckpointDelta","ns_per_op":1300,"allocs_per_op":1064,"bytes_per_op":352000,"sim_steps_per_second":null}
 ]}`)
 	sb.Reset()
 	criticals, err = bench(&sb, cur, base, 1.5)

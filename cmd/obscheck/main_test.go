@@ -313,3 +313,60 @@ func TestCheckRejectsForeignProfileEntry(t *testing.T) {
 		t.Fatalf("foreign inventory entry accepted: %v", err)
 	}
 }
+
+// mixedChainJSONL hand-builds a checkpoint chain whose prefix predates
+// the delta upgrade (v1 full records) and whose tail is v2 keyframes and
+// deltas — the shape a pre-upgrade capture resumed by a newer binary
+// leaves on disk.
+func mixedChainJSONL(t *testing.T, dir string, breakIt bool) {
+	t.Helper()
+	mk := func(v, slot int, delta bool, prev string) obs.CheckpointRecord {
+		r := obs.CheckpointRecord{V: v, Slot: slot, Step: slot * 600,
+			Seconds: float64(slot * 600), State: []byte(`{}`), Delta: delta, Prev: prev}
+		r.Hash = obs.HashCheckpoint(r)
+		return r
+	}
+	v1a := mk(1, 1, false, "")
+	v1b := mk(1, 2, false, v1a.Hash)
+	v2key := mk(2, 3, false, v1b.Hash)
+	v2delta := mk(2, 4, true, v2key.Hash)
+	records := []obs.CheckpointRecord{v1a, v1b, v2key, v2delta}
+	if breakIt {
+		// A delta record claiming the pre-delta schema version.
+		records = append(records, mk(1, 5, true, v2delta.Hash))
+	}
+	f, err := os.Create(filepath.Join(dir, "checkpoints.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := obs.WriteCheckpointsJSONL(f, records); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckAcceptsMixedVersionChain holds obscheck to the format-upgrade
+// contract: a capture whose checkpoint chain mixes v1 full records with
+// v2 keyframes and deltas validates cleanly, while a delta stamped with
+// the pre-delta version is refused. The manifest is removed because this
+// chain was written by the test, not by the capture.
+func TestCheckAcceptsMixedVersionChain(t *testing.T) {
+	dir := t.TempDir()
+	writeCapture(t, dir)
+	if err := os.Remove(filepath.Join(dir, obs.ManifestName)); err != nil {
+		t.Fatal(err)
+	}
+	mixedChainJSONL(t, dir, false)
+	inv, _, err := check(dir, false)
+	if err != nil {
+		t.Fatalf("mixed v1/v2 chain rejected: %v", err)
+	}
+	if !strings.Contains(inv, "4 checkpoints (chain intact)") {
+		t.Errorf("inventory missing checkpoint summary: %q", inv)
+	}
+
+	mixedChainJSONL(t, dir, true)
+	if _, _, err := check(dir, false); err == nil || !strings.Contains(err.Error(), "deltas need v2") {
+		t.Fatalf("v1 delta record accepted: %v", err)
+	}
+}

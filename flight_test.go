@@ -111,6 +111,74 @@ func TestKillAndResumeByteIdentical(t *testing.T) {
 	}
 }
 
+// TestResumeAtKeyframeBoundary pins the two edges of the delta format's
+// resume path: a chain whose last record is exactly a keyframe (the
+// materialization is a plain copy, no splicing) and one ending mid-delta
+// (the restore splices back to the keyframe). Both must extend into the
+// same byte-identical artifacts as the uninterrupted run.
+func TestResumeAtKeyframeBoundary(t *testing.T) {
+	const d = 2 * time.Hour
+	pr, err := WorkloadNamed("PR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := pr.WithDuration(d)
+
+	full := flightProto(42)
+	wantRes, err := full.Run(HEBD, wl, RunOptions{Duration: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := flightArtifacts(t, full.Capture)
+
+	// CheckpointEvery=1 on a 2h run records slots 1..12; with the default
+	// cadence of 8 the chain is keyframe, 7 deltas, keyframe, 3 deltas.
+	cases := []struct {
+		name     string
+		killStep int // kill after this many steps
+		records  int // chain length at the kill
+	}{
+		{"last record is the chain's second keyframe", 9*600 + 1, 9},
+		{"last record is a mid-chain delta", 6*600 + 1, 6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			killed := flightProto(42)
+			var records []obs.CheckpointRecord
+			if _, err := killed.Run(HEBD, wl, RunOptions{
+				Duration:       d,
+				MaxSteps:       tc.killStep,
+				CheckpointSink: func(r obs.CheckpointRecord) { records = append(records, r) },
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(records) != tc.records {
+				t.Fatalf("killed run left %d records, want %d", len(records), tc.records)
+			}
+			last := records[len(records)-1]
+			wantDelta := (len(records)-1)%obs.DefaultKeyframeEvery != 0
+			if last.Delta != wantDelta {
+				t.Fatalf("last record delta=%v, want %v", last.Delta, wantDelta)
+			}
+
+			resumed := flightProto(42)
+			gotRes, err := resumed.Run(HEBD, wl, RunOptions{Duration: d, ResumeCheckpoints: records})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotRes, wantRes) {
+				t.Errorf("resumed Result differs:\n got %+v\nwant %+v", gotRes, wantRes)
+			}
+			got := flightArtifacts(t, resumed.Capture)
+			for name, wb := range want {
+				if !bytes.Equal(got[name], wb) {
+					t.Errorf("%s differs between full and resumed run", name)
+				}
+			}
+		})
+	}
+}
+
 // TestReplayMatchesFromScratch is the time-travel guarantee for three
 // representative cells: fast-forwarding from a checkpoint and
 // re-executing a slot window produces the same Result and byte-identical

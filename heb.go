@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"sync"
 	"time"
 
 	"heb/internal/core"
@@ -353,10 +354,7 @@ func (p Prototype) BuildScheme(id SchemeID, scCap, baCap units.Energy) (core.Sch
 		cfg.SeasonLength = 0
 		return forecast.MustNewHoltWinters(cfg)
 	}
-	maxPM := units.Power(float64(p.NumServers)*float64(p.Server.PeakPower)) - p.Budget
-	if maxPM < 0 {
-		maxPM = 0
-	}
+	maxPM := p.maxPM()
 	switch id {
 	case BaOnly:
 		return core.NewBaOnly(), hw(), hw(), nil
@@ -385,6 +383,16 @@ func (p Prototype) BuildScheme(id SchemeID, scCap, baCap units.Energy) (core.Sch
 	default:
 		return nil, nil, nil, fmt.Errorf("heb: unknown scheme %d", int(id))
 	}
+}
+
+// maxPM is the largest power mismatch the PAT profiles: the cluster
+// peak above the provisioned budget.
+func (p Prototype) maxPM() units.Power {
+	pm := units.Power(float64(p.NumServers)*float64(p.Server.PeakPower)) - p.Budget
+	if pm < 0 {
+		pm = 0
+	}
+	return pm
 }
 
 // RunOptions adjust a single scheme run.
@@ -451,13 +459,26 @@ type RunOptions struct {
 // disabled path costs one atomic load (BenchmarkEngineProfDisabled pins
 // its allocs/op to BenchmarkEngineStep's).
 func (p Prototype) Run(id SchemeID, workload Workload, opts RunOptions) (sim.Result, error) {
+	return p.RunWith(nil, 0, id, workload, opts)
+}
+
+// RunWith is Run with a per-worker run-state cache: when cache is
+// non-nil and the options inject no foreign components (see
+// RunOptions.poolable), the run reuses the worker's previously built
+// engine, device pools, PAT table, controller and servers for the same
+// structural configuration, resetting them instead of reallocating.
+// Results and every observability artifact are bit-for-bit identical to
+// Run's. worker must be the runner.MapWorkers worker index the call
+// executes on — jobs sharing a worker index never run concurrently, so
+// the cache slot needs no locking. A nil cache is exactly Run.
+func (p Prototype) RunWith(cache *RunCache, worker int, id SchemeID, workload Workload, opts RunOptions) (sim.Result, error) {
 	if !prof.Active() {
-		return p.run(id, workload, opts, nil)
+		return p.run(id, workload, opts, nil, cache, worker)
 	}
 	var res sim.Result
 	var err error
 	prof.DoCell(id.String(), workload.Name(), p.Seed, func(ctx context.Context) {
-		res, err = p.run(id, workload, opts, ctx)
+		res, err = p.run(id, workload, opts, ctx, cache, worker)
 	})
 	return res, err
 }
@@ -465,7 +486,7 @@ func (p Prototype) Run(id SchemeID, workload Workload, opts RunOptions) (sim.Res
 // run is Run's body; profCtx is the cell-labeled context (nil when
 // profiling is off) used to switch the phase label at lifecycle
 // boundaries.
-func (p Prototype) run(id SchemeID, workload Workload, opts RunOptions, profCtx context.Context) (sim.Result, error) {
+func (p Prototype) run(id SchemeID, workload Workload, opts RunOptions, profCtx context.Context, cache *RunCache, worker int) (sim.Result, error) {
 	if err := p.Validate(); err != nil {
 		return sim.Result{}, err
 	}
@@ -473,21 +494,43 @@ func (p Prototype) run(id SchemeID, workload Workload, opts RunOptions, profCtx 
 	if opts.Budget > 0 {
 		budget = opts.Budget
 	}
-	battery, supercap, err := p.BuildPools(id)
-	if err != nil {
-		return sim.Result{}, err
+	// Run-state pooling: a cached runState for this structural
+	// configuration replaces every construction below with a reset.
+	var st *runState
+	var poolKey string
+	pooling := cache != nil && opts.poolable()
+	if pooling {
+		poolKey = p.poolKey(id, budget)
+		st = cache.lookup(worker, poolKey)
+		if st != nil {
+			st.reset(p)
+		}
 	}
-	battery.SetSoC(p.InitialSoC)
-	if supercap != nil {
-		supercap.SetSoC(p.InitialSoC)
-	}
-	var scCap units.Energy
-	if supercap != nil {
-		scCap = supercap.Capacity()
-	}
-	scheme, peakPred, valleyPred, err := p.BuildScheme(id, scCap, battery.Capacity())
-	if err != nil {
-		return sim.Result{}, err
+	var battery, supercap *esd.Pool
+	var scheme core.Scheme
+	var peakPred, valleyPred forecast.Predictor
+	var err error
+	if st != nil {
+		battery, supercap = st.battery, st.supercap
+		scheme = st.scheme
+		peakPred, valleyPred = st.peakPred, st.valleyPred
+	} else {
+		battery, supercap, err = p.BuildPools(id)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		battery.SetSoC(p.InitialSoC)
+		if supercap != nil {
+			supercap.SetSoC(p.InitialSoC)
+		}
+		var scCap units.Energy
+		if supercap != nil {
+			scCap = supercap.Capacity()
+		}
+		scheme, peakPred, valleyPred, err = p.BuildScheme(id, scCap, battery.Capacity())
+		if err != nil {
+			return sim.Result{}, err
+		}
 	}
 	if opts.PeakPredictor != nil {
 		peakPred = opts.PeakPredictor
@@ -563,31 +606,48 @@ func (p Prototype) run(id SchemeID, workload Workload, opts RunOptions, profCtx 
 		ckptLog.Seed(opts.ResumeCheckpoints)
 	}
 	var checkpointFn func(slot, step int, now time.Duration, state []byte)
+	var checkpointDeltaFn func() bool
+	// Splice bases for delta records: how much of the event and decision
+	// logs the previous record (or the restored checkpoint) already
+	// carried. Owned by the single engine goroutine.
+	var ckptEventsBase, ckptDecisionsBase int
+	// ckptDrain joins the checkpoint tail worker: the record bytes are
+	// fully determined on the engine goroutine, but hashing, chain
+	// storage and sink delivery lag behind on a single worker so the
+	// engine can resume stepping. Every record is stored and delivered
+	// (in chain order) by the time drain returns; it runs right after
+	// the engine stops and, via the Once, on every early-error path.
+	var ckptDrain func()
 	if ckptLog != nil {
 		sink := opts.CheckpointSink
 		progress := p.Progress
-		checkpointFn = func(slot, step int, now time.Duration, state []byte) {
-			cs := runCheckpointState{Engine: state}
-			if capLog != nil || probes != nil {
-				o := &runObsState{}
-				if capLog != nil {
-					o.Events = capLog.Events()
-					o.EventsDropped = capLog.Dropped()
-					o.Decisions = capDecisions.Records()
-				}
-				if probes != nil {
-					ps := probes.State()
-					o.Probes = &ps
-				}
-				cs.Obs = o
-			}
-			raw, err := json.Marshal(cs)
-			if err != nil {
-				panic(fmt.Sprintf("heb: marshal checkpoint: %v", err))
-			}
-			rec := ckptLog.Append(slot, step, now.Seconds(), raw)
+		// Keyframe cadence is a function of chain position alone, so a
+		// resumed chain continues the exact keyframe/delta sequence an
+		// uninterrupted run would have produced. The position is counted
+		// here rather than read from the log because the log trails the
+		// engine by whatever the tail worker has not stored yet.
+		chainLen := ckptLog.Len()
+		checkpointDeltaFn = func() bool { return chainLen%obs.DefaultKeyframeEvery != 0 }
+		type ckptItem struct {
+			slot, step int
+			seconds    float64
+			raw        json.RawMessage
+			delta      bool
+		}
+		var (
+			queue     chan ckptItem
+			workerErr any
+			workerWG  sync.WaitGroup
+			drainOnce sync.Once
+		)
+		// The alert engine is fed from the engine goroutine every step;
+		// feeding it chain hashes from the worker would race, so alerted
+		// runs keep the tail synchronous.
+		async := alerter == nil
+		store := func(it ckptItem) {
+			rec := ckptLog.AppendOwned(it.slot, it.step, it.seconds, it.raw, it.delta)
 			if alerter != nil {
-				alerter.ObserveCheckpoint(now.Seconds(), rec.Prev, rec.Hash)
+				alerter.ObserveCheckpoint(it.seconds, rec.Prev, rec.Hash)
 			}
 			if sink != nil {
 				sink(rec)
@@ -596,9 +656,101 @@ func (p Prototype) run(id SchemeID, workload Workload, opts RunOptions, profCtx 
 				progress.AddCheckpoints(1)
 			}
 		}
+		if async {
+			queue = make(chan ckptItem, 8)
+			workerWG.Add(1)
+			go func() {
+				defer workerWG.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						workerErr = r
+						for range queue { // keep the engine from blocking on a dead worker
+						}
+					}
+				}()
+				for it := range queue {
+					store(it)
+				}
+			}()
+		}
+		ckptDrain = func() {
+			drainOnce.Do(func() {
+				if queue != nil {
+					close(queue)
+					workerWG.Wait()
+					if workerErr != nil {
+						panic(workerErr)
+					}
+				}
+			})
+		}
+		defer ckptDrain()
+		checkpointFn = func(slot, step int, now time.Duration, state []byte) {
+			// The engine consulted checkpointDeltaFn for this same record;
+			// the chain position has not advanced in between, so the
+			// answers agree.
+			delta := chainLen%obs.DefaultKeyframeEvery != 0
+			// The engine state is already compact JSON, so the record is
+			// stitched around it instead of re-marshaled through a
+			// json.RawMessage field — Marshal would re-scan (compact) the
+			// whole payload on every record. The stitched bytes match what
+			// marshaling runCheckpointState/runCheckpointDelta produces, and
+			// the resume path still decodes through those types.
+			var obsRaw []byte
+			var err error
+			if capLog != nil || probes != nil {
+				if delta {
+					o := &runObsDelta{EventsBase: ckptEventsBase, DecisionsBase: ckptDecisionsBase}
+					if capLog != nil {
+						o.Events = capLog.EventsSince(ckptEventsBase)
+						o.EventsDropped = capLog.Dropped()
+						o.Decisions = capDecisions.RecordsSince(ckptDecisionsBase)
+					}
+					if probes != nil {
+						ps := probes.State()
+						o.Probes = &ps
+					}
+					obsRaw, err = json.Marshal(o)
+				} else {
+					o := &runObsState{}
+					if capLog != nil {
+						o.Events = capLog.Events()
+						o.EventsDropped = capLog.Dropped()
+						o.Decisions = capDecisions.Records()
+					}
+					if probes != nil {
+						ps := probes.State()
+						o.Probes = &ps
+					}
+					obsRaw, err = json.Marshal(o)
+				}
+				if err != nil {
+					panic(fmt.Sprintf("heb: marshal checkpoint: %v", err))
+				}
+			}
+			raw := make([]byte, 0, len(`{"engine":`)+len(state)+len(`,"obs":`)+len(obsRaw)+1)
+			raw = append(raw, `{"engine":`...)
+			raw = append(raw, state...)
+			if obsRaw != nil {
+				raw = append(raw, `,"obs":`...)
+				raw = append(raw, obsRaw...)
+			}
+			raw = append(raw, '}')
+			if capLog != nil {
+				ckptEventsBase = capLog.Len()
+				ckptDecisionsBase = capDecisions.Len()
+			}
+			chainLen++
+			it := ckptItem{slot: slot, step: step, seconds: now.Seconds(), raw: raw, delta: delta}
+			if queue != nil {
+				queue <- it
+				return
+			}
+			store(it)
+		}
 	}
 
-	ctrl, err := core.NewController(core.Config{
+	ctrlCfg := core.Config{
 		SmallPeakWatts:  p.SmallPeakWatts,
 		Budget:          budget,
 		NumServers:      p.NumServers,
@@ -607,18 +759,31 @@ func (p Prototype) run(id SchemeID, workload Workload, opts RunOptions, profCtx 
 		SensorNoise:     p.SensorNoise,
 		NoiseSeed:       p.Seed,
 		Trace:           traceFn,
-	}, scheme)
-	if err != nil {
-		return sim.Result{}, err
+	}
+	var ctrl *core.Controller
+	if st != nil {
+		ctrl = st.ctrl
+		if err := ctrl.Reset(ctrlCfg, scheme); err != nil {
+			return sim.Result{}, err
+		}
+	} else {
+		ctrl, err = core.NewController(ctrlCfg, scheme)
+		if err != nil {
+			return sim.Result{}, err
+		}
 	}
 
 	feed := opts.Feed
 	if feed == nil {
-		f, err := power.NewUtilityFeed(budget)
-		if err != nil {
-			return sim.Result{}, err
+		if st != nil {
+			feed = st.feed
+		} else {
+			f, err := power.NewUtilityFeed(budget)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			feed = f
 		}
-		feed = f
 	}
 
 	tr, err := workload.Trace(p)
@@ -655,13 +820,18 @@ func (p Prototype) run(id SchemeID, workload Workload, opts RunOptions, profCtx 
 	if supercap != nil {
 		scDev = supercap
 	}
-	servers := p.Servers()
+	var servers []*power.Server
+	if st != nil {
+		servers = st.servers
+	} else {
+		servers = p.Servers()
+	}
 	if workload.freqSet {
 		for _, s := range servers {
 			s.SetFreq(workload.freq)
 		}
 	}
-	eng, err := sim.New(sim.Config{
+	engCfg := sim.Config{
 		Step:            p.Step,
 		Slot:            p.Slot,
 		Duration:        opts.Duration,
@@ -684,21 +854,57 @@ func (p Prototype) run(id SchemeID, workload Workload, opts RunOptions, profCtx 
 		MaxSteps:        opts.MaxSteps,
 		CheckpointEvery: p.CheckpointEvery,
 		Checkpoints:     checkpointFn,
+		CheckpointDelta: checkpointDeltaFn,
 		Prof:            profCtx,
-	})
-	if err != nil {
-		return sim.Result{}, err
+	}
+	var eng *sim.Engine
+	if st != nil {
+		eng = st.eng
+		if err := eng.Reset(engCfg); err != nil {
+			return sim.Result{}, err
+		}
+	} else {
+		eng, err = sim.New(engCfg)
+		if err != nil {
+			return sim.Result{}, err
+		}
+	}
+	if pooling && st == nil {
+		// First run of this configuration on this worker: park the freshly
+		// built state so subsequent cells reset instead of rebuilding.
+		ns := &runState{
+			battery:    battery,
+			supercap:   supercap,
+			scheme:     scheme,
+			peakPred:   peakPred,
+			valleyPred: valleyPred,
+			ctrl:       ctrl,
+			servers:    servers,
+			feed:       feed.(*power.UtilityFeed),
+			eng:        eng,
+		}
+		if table, ok := core.Table(scheme); ok {
+			ns.table = table
+		}
+		cache.store(worker, poolKey, ns)
 	}
 	if len(opts.ResumeCheckpoints) > 0 {
-		last := opts.ResumeCheckpoints[len(opts.ResumeCheckpoints)-1]
+		// The chain's last record may be a delta; materialize it against
+		// its keyframe before restoring.
+		state, err := obs.MaterializeAt(opts.ResumeCheckpoints, len(opts.ResumeCheckpoints)-1)
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("heb: resume chain: %w", err)
+		}
 		var cs runCheckpointState
-		if err := json.Unmarshal(last.State, &cs); err != nil {
+		if err := json.Unmarshal(state, &cs); err != nil {
 			return sim.Result{}, fmt.Errorf("heb: decode checkpoint state: %w", err)
 		}
 		if cs.Obs != nil {
 			if capLog != nil {
 				capLog.Restore(cs.Obs.Events, cs.Obs.EventsDropped)
 				capDecisions.Restore(cs.Obs.Decisions)
+				ckptEventsBase = capLog.Len()
+				ckptDecisionsBase = capDecisions.Len()
 			}
 			if probes != nil {
 				if cs.Obs.Probes == nil {
@@ -717,6 +923,9 @@ func (p Prototype) run(id SchemeID, workload Workload, opts RunOptions, profCtx 
 	}
 	prof.SetPhase(profCtx, prof.PhaseSteps)
 	res := eng.Run()
+	if ckptDrain != nil {
+		ckptDrain()
+	}
 	prof.SetPhase(profCtx, prof.PhaseFinish)
 	// A trailing slot the run ended inside still deserves its record, so
 	// the decision count always equals SlotCount.

@@ -107,6 +107,62 @@ func NewController(cfg Config, scheme Scheme) (*Controller, error) {
 	return c, nil
 }
 
+// Reset re-arms the controller for a fresh run over a new configuration
+// and scheme, producing the exact state NewController(cfg, scheme) would:
+// predictors and accuracy trackers discard their history, the slot
+// lifecycle restarts at slot zero, and the sensor-noise stream is
+// re-seeded from cfg.NoiseSeed. When the new config injects no custom
+// predictors and the old one didn't either, the owned defaults are reset
+// in place instead of reallocated — the run-state pooling path.
+func (c *Controller) Reset(cfg Config, scheme Scheme) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if scheme == nil {
+		return fmt.Errorf("core: controller needs a scheme")
+	}
+	peak, valley := cfg.PeakPredictor, cfg.ValleyPredictor
+	if peak == nil {
+		if c.cfg.PeakPredictor == nil && c.peakPred != nil {
+			peak = c.peakPred
+			peak.Reset()
+		} else {
+			peak = forecast.MustNewHoltWinters(forecast.DefaultHoltWintersConfig())
+		}
+	}
+	if valley == nil {
+		if c.cfg.ValleyPredictor == nil && c.valleyPred != nil {
+			valley = c.valleyPred
+			valley.Reset()
+		} else {
+			valley = forecast.MustNewHoltWinters(forecast.DefaultHoltWintersConfig())
+		}
+	}
+	var noise *rand.Rand
+	if cfg.SensorNoise > 0 {
+		if c.noise != nil {
+			noise = c.noise
+			noise.Seed(cfg.NoiseSeed)
+		} else {
+			noise = rand.New(rand.NewSource(cfg.NoiseSeed))
+		}
+	}
+	c.cfg = cfg
+	c.scheme = scheme
+	c.peakPred, c.valleyPred = peak, valley
+	c.peakErr, c.valleyErr = forecast.Errors{}, forecast.Errors{}
+	c.lastView = SlotView{}
+	c.haveSlot = false
+	c.slotCount = 0
+	c.patTable, _ = Table(scheme)
+	c.lastLookups, c.lastMisses = 0, 0
+	c.pending = obs.DecisionRecord{}
+	c.havePending = false
+	c.noise = noise
+	c.noiseDraws = 0
+	return nil
+}
+
 // MustNewController is NewController for known-good configs.
 func MustNewController(cfg Config, scheme Scheme) *Controller {
 	c, err := NewController(cfg, scheme)

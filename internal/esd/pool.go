@@ -12,9 +12,30 @@ import (
 // split across members in proportion to their present capability, which is
 // how paralleled strings share current in practice: a sagging string
 // naturally carries less.
+//
+// Internally the pool keeps a struct-of-arrays view of its members: the
+// concrete batteries and supercaps are resolved once at construction into
+// index-aligned typed slices, so the per-step hot path (capability scan,
+// proportional split, dispatch) runs as direct calls over dense arrays
+// instead of interface dispatch, and the capability scratch is pool-owned
+// rather than allocated per call. Member order is preserved everywhere, so
+// the floating-point summation order — and therefore every simulation
+// result — is bit-identical to the naive per-device loop.
 type Pool struct {
 	name    string
 	members []Device
+
+	// SoA views, index-aligned with members: bat[i]/sc[i] is non-nil when
+	// members[i] is of that concrete type. A foreign Device implementation
+	// leaves both nil and falls back to interface dispatch.
+	bat []*Battery
+	sc  []*Supercap
+
+	// caps is the reusable capability scratch for transfer and
+	// TerminalVoltage; it lives on the pool so the per-step hot path never
+	// allocates. The pool is single-goroutine (like its members), so one
+	// scratch suffices.
+	caps []units.Power
 }
 
 var _ Device = (*Pool)(nil)
@@ -29,7 +50,22 @@ func NewPool(name string, members ...Device) (*Pool, error) {
 			return nil, fmt.Errorf("esd: pool %q member %d is nil", name, i)
 		}
 	}
-	return &Pool{name: name, members: members}, nil
+	p := &Pool{
+		name:    name,
+		members: members,
+		bat:     make([]*Battery, len(members)),
+		sc:      make([]*Supercap, len(members)),
+		caps:    make([]units.Power, len(members)),
+	}
+	for i, m := range members {
+		switch d := m.(type) {
+		case *Battery:
+			p.bat[i] = d
+		case *Supercap:
+			p.sc[i] = d
+		}
+	}
+	return p, nil
 }
 
 // MustNewPool is NewPool for known-good member lists.
@@ -50,12 +86,137 @@ func (p *Pool) Members() []Device { return p.members }
 // Size returns the member count.
 func (p *Pool) Size() int { return len(p.members) }
 
+// The member* helpers devirtualize the hot-path Device calls: the concrete
+// type was resolved at construction, so the common case is a direct method
+// call the compiler can see through. Member order — and so float summation
+// order — matches the members slice exactly.
+
+func (p *Pool) memberCapacity(i int) units.Energy {
+	if b := p.bat[i]; b != nil {
+		return b.Capacity()
+	}
+	if s := p.sc[i]; s != nil {
+		return s.Capacity()
+	}
+	return p.members[i].Capacity()
+}
+
+func (p *Pool) memberSoC(i int) float64 {
+	if b := p.bat[i]; b != nil {
+		return b.SoC()
+	}
+	if s := p.sc[i]; s != nil {
+		return s.SoC()
+	}
+	return p.members[i].SoC()
+}
+
+func (p *Pool) memberStored(i int) units.Energy {
+	if b := p.bat[i]; b != nil {
+		return b.Stored()
+	}
+	if s := p.sc[i]; s != nil {
+		return s.Stored()
+	}
+	return p.members[i].Stored()
+}
+
+func (p *Pool) memberVoltage(i int) units.Voltage {
+	if b := p.bat[i]; b != nil {
+		return b.Voltage()
+	}
+	if s := p.sc[i]; s != nil {
+		return s.Voltage()
+	}
+	return p.members[i].Voltage()
+}
+
+func (p *Pool) memberMaxDischarge(i int) units.Power {
+	if b := p.bat[i]; b != nil {
+		return b.MaxDischargePower()
+	}
+	if s := p.sc[i]; s != nil {
+		return s.MaxDischargePower()
+	}
+	return p.members[i].MaxDischargePower()
+}
+
+func (p *Pool) memberMaxCharge(i int) units.Power {
+	if b := p.bat[i]; b != nil {
+		return b.MaxChargePower()
+	}
+	if s := p.sc[i]; s != nil {
+		return s.MaxChargePower()
+	}
+	return p.members[i].MaxChargePower()
+}
+
+func (p *Pool) memberDepleted(i int) bool {
+	if b := p.bat[i]; b != nil {
+		return b.Depleted()
+	}
+	if s := p.sc[i]; s != nil {
+		return s.Depleted()
+	}
+	return p.members[i].Depleted()
+}
+
+func (p *Pool) memberRest(i int, dt time.Duration) {
+	if b := p.bat[i]; b != nil {
+		b.Rest(dt)
+		return
+	}
+	if s := p.sc[i]; s != nil {
+		s.Rest(dt)
+		return
+	}
+	p.members[i].Rest(dt)
+}
+
+func (p *Pool) memberDischarge(i int, req units.Power, dt time.Duration) units.Power {
+	if b := p.bat[i]; b != nil {
+		return b.Discharge(req, dt)
+	}
+	if s := p.sc[i]; s != nil {
+		return s.Discharge(req, dt)
+	}
+	return p.members[i].Discharge(req, dt)
+}
+
+func (p *Pool) memberCharge(i int, offered units.Power, dt time.Duration) units.Power {
+	if b := p.bat[i]; b != nil {
+		return b.Charge(offered, dt)
+	}
+	if s := p.sc[i]; s != nil {
+		return s.Charge(offered, dt)
+	}
+	return p.members[i].Charge(offered, dt)
+}
+
+// memberTerminalVoltage returns the loaded terminal voltage and whether the
+// member models one.
+func (p *Pool) memberTerminalVoltage(i int, load units.Power) (units.Voltage, bool) {
+	if b := p.bat[i]; b != nil {
+		return b.TerminalVoltage(load), true
+	}
+	if s := p.sc[i]; s != nil {
+		return s.TerminalVoltage(load), true
+	}
+	tv, ok := p.members[i].(interface {
+		TerminalVoltage(units.Power) units.Voltage
+	})
+	if !ok {
+		return 0, false
+	}
+	return tv.TerminalVoltage(load), true
+}
+
 // SoC is the capacity-weighted mean state of charge.
 func (p *Pool) SoC() float64 {
 	var num, den float64
-	for _, m := range p.members {
-		c := float64(m.Capacity())
-		num += m.SoC() * c
+	for i := range p.members {
+		c := float64(p.memberCapacity(i))
+		num += p.memberSoC(i) * c
 		den += c
 	}
 	if den == 0 {
@@ -67,8 +228,8 @@ func (p *Pool) SoC() float64 {
 // Stored sums members' usable stored energy.
 func (p *Pool) Stored() units.Energy {
 	var e units.Energy
-	for _, m := range p.members {
-		e += m.Stored()
+	for i := range p.members {
+		e += p.memberStored(i)
 	}
 	return e
 }
@@ -76,8 +237,8 @@ func (p *Pool) Stored() units.Energy {
 // Capacity sums members' usable capacity.
 func (p *Pool) Capacity() units.Energy {
 	var e units.Energy
-	for _, m := range p.members {
-		e += m.Capacity()
+	for i := range p.members {
+		e += p.memberCapacity(i)
 	}
 	return e
 }
@@ -86,8 +247,8 @@ func (p *Pool) Capacity() units.Energy {
 // strongest string through its ORing diode).
 func (p *Pool) Voltage() units.Voltage {
 	var v units.Voltage
-	for _, m := range p.members {
-		if mv := m.Voltage(); mv > v {
+	for i := range p.members {
+		if mv := p.memberVoltage(i); mv > v {
 			v = mv
 		}
 	}
@@ -98,10 +259,10 @@ func (p *Pool) Voltage() units.Voltage {
 // watts: each member carries a share proportional to its capability, and
 // the bus sits at the capability-weighted mean of member terminals.
 func (p *Pool) TerminalVoltage(load units.Power) units.Voltage {
-	caps := make([]units.Power, len(p.members))
+	caps := p.caps
 	var capSum units.Power
-	for i, m := range p.members {
-		caps[i] = m.MaxDischargePower()
+	for i := range p.members {
+		caps[i] = p.memberMaxDischarge(i)
 		capSum += caps[i]
 	}
 	if capSum <= 0 {
@@ -111,16 +272,14 @@ func (p *Pool) TerminalVoltage(load units.Power) units.Voltage {
 		load = capSum
 	}
 	var num, den float64
-	for i, m := range p.members {
-		tv, ok := m.(interface {
-			TerminalVoltage(units.Power) units.Voltage
-		})
+	for i := range p.members {
+		share := units.Power(float64(load) * float64(caps[i]) / float64(capSum))
+		v, ok := p.memberTerminalVoltage(i, share)
 		if !ok {
 			continue
 		}
-		share := units.Power(float64(load) * float64(caps[i]) / float64(capSum))
 		w := float64(caps[i])
-		num += float64(tv.TerminalVoltage(share)) * w
+		num += float64(v) * w
 		den += w
 	}
 	if den == 0 {
@@ -132,8 +291,8 @@ func (p *Pool) TerminalVoltage(load units.Power) units.Voltage {
 // MaxDischargePower sums member discharge capability.
 func (p *Pool) MaxDischargePower() units.Power {
 	var pw units.Power
-	for _, m := range p.members {
-		pw += m.MaxDischargePower()
+	for i := range p.members {
+		pw += p.memberMaxDischarge(i)
 	}
 	return pw
 }
@@ -141,16 +300,16 @@ func (p *Pool) MaxDischargePower() units.Power {
 // MaxChargePower sums member charge acceptance.
 func (p *Pool) MaxChargePower() units.Power {
 	var pw units.Power
-	for _, m := range p.members {
-		pw += m.MaxChargePower()
+	for i := range p.members {
+		pw += p.memberMaxCharge(i)
 	}
 	return pw
 }
 
 // Depleted reports whether every member is depleted.
 func (p *Pool) Depleted() bool {
-	for _, m := range p.members {
-		if !m.Depleted() {
+	for i := range p.members {
+		if !p.memberDepleted(i) {
 			return false
 		}
 	}
@@ -160,35 +319,38 @@ func (p *Pool) Depleted() bool {
 // Discharge splits req across members in proportion to their capability
 // and returns total delivered power.
 func (p *Pool) Discharge(req units.Power, dt time.Duration) units.Power {
-	return p.transfer(req, dt, Device.MaxDischargePower, Device.Discharge)
+	return p.transfer(req, dt, true)
 }
 
 // Charge splits offered watts across members in proportion to their
 // acceptance and returns total input power drawn.
 func (p *Pool) Charge(offered units.Power, dt time.Duration) units.Power {
-	return p.transfer(offered, dt, Device.MaxChargePower, Device.Charge)
+	return p.transfer(offered, dt, false)
 }
 
 // transfer implements the proportional split shared by Discharge and
 // Charge. Each member's share is proportional to its instantaneous
 // capability, so no member is asked for more than it can serve and every
 // member is dispatched exactly once per step (keeping recovery and leakage
-// time in sync across the pool).
-func (p *Pool) transfer(
-	total units.Power,
-	dt time.Duration,
-	capability func(Device) units.Power,
-	op func(Device, units.Power, time.Duration) units.Power,
-) units.Power {
-	caps := make([]units.Power, len(p.members))
+// time in sync across the pool). It is the pool's hot path: one capability
+// pass and one dispatch pass over the SoA views, zero allocations.
+func (p *Pool) transfer(total units.Power, dt time.Duration, discharge bool) units.Power {
+	caps := p.caps
 	var capSum units.Power
-	for i, m := range p.members {
-		caps[i] = capability(m)
-		capSum += caps[i]
+	if discharge {
+		for i := range p.members {
+			caps[i] = p.memberMaxDischarge(i)
+			capSum += caps[i]
+		}
+	} else {
+		for i := range p.members {
+			caps[i] = p.memberMaxCharge(i)
+			capSum += caps[i]
+		}
 	}
 	if total <= 0 || capSum <= 0 {
-		for _, m := range p.members {
-			m.Rest(dt)
+		for i := range p.members {
+			p.memberRest(i, dt)
 		}
 		return 0
 	}
@@ -196,17 +358,21 @@ func (p *Pool) transfer(
 		total = capSum
 	}
 	var moved units.Power
-	for i, m := range p.members {
+	for i := range p.members {
 		share := units.Power(float64(total) * float64(caps[i]) / float64(capSum))
-		moved += op(m, share, dt)
+		if discharge {
+			moved += p.memberDischarge(i, share, dt)
+		} else {
+			moved += p.memberCharge(i, share, dt)
+		}
 	}
 	return moved
 }
 
 // Rest advances all members without load.
 func (p *Pool) Rest(dt time.Duration) {
-	for _, m := range p.members {
-		m.Rest(dt)
+	for i := range p.members {
+		p.memberRest(i, dt)
 	}
 }
 

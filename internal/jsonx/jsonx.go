@@ -1,0 +1,51 @@
+// Package jsonx provides append-style JSON encoding helpers for the
+// checkpoint hot path. encoding/json spends most of a checkpoint record
+// marshaling float series and table entries through reflection, and
+// re-compacts any json.Marshaler/RawMessage output it embeds; these
+// helpers append the same notation directly into a caller-owned buffer.
+package jsonx
+
+import (
+	"math"
+	"strconv"
+)
+
+// AppendFloat appends f in the notation encoding/json uses for float64
+// values: shortest round-trip decimal, 'f' form for ordinary magnitudes
+// and 'e' form (with single-digit exponents unpadded) outside
+// [1e-6, 1e21). The caller must not pass NaN or ±Inf — encoding/json
+// rejects those at marshal time, so they never appear in a state
+// document this package re-encodes.
+func AppendFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		// encoding/json trims "e-09" style exponents to "e-9".
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// AppendFloats appends s as a JSON array of AppendFloat values.
+func AppendFloats(b []byte, s []float64) []byte {
+	b = append(b, '[')
+	for i, f := range s {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = AppendFloat(b, f)
+	}
+	return append(b, ']')
+}
+
+// AppendInt appends i in JSON integer notation.
+func AppendInt(b []byte, i int) []byte {
+	return strconv.AppendInt(b, int64(i), 10)
+}

@@ -1,0 +1,50 @@
+package jsonx
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestAppendFloatMatchesEncodingJSON pins the byte-level contract: the
+// fast path must emit exactly what encoding/json would, or checkpoint
+// chains written through it stop being byte-identical to ones written
+// through reflection.
+func TestAppendFloatMatchesEncodingJSON(t *testing.T) {
+	cases := []float64{
+		0, 1, -1, 0.5, -0.5, 1.0 / 3.0, 280, 238.25, 599.9999999999999,
+		1e-6, 9.999999e-7, 1e-7, -1e-7, 1e21, 1e21 - 65537, -1e21, 1e22,
+		5e-324, math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64,
+		123456.789012, 3600, 0.016666666666666666, 2.718281828459045,
+		1e-9, 2.5e-10, 7e20, 1.0000000000000002,
+	}
+	for _, f := range cases {
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := AppendFloat(nil, f); string(got) != string(want) {
+			t.Errorf("AppendFloat(%g) = %s, want %s", f, got, want)
+		}
+	}
+}
+
+func TestAppendFloats(t *testing.T) {
+	s := []float64{1, 2.5, -3e-9}
+	want, _ := json.Marshal(s)
+	if got := AppendFloats(nil, s); string(got) != string(want) {
+		t.Errorf("AppendFloats = %s, want %s", got, want)
+	}
+	if got := AppendFloats(nil, nil); string(got) != "[]" {
+		t.Errorf("AppendFloats(nil) = %s, want []", got)
+	}
+}
+
+func TestAppendInt(t *testing.T) {
+	for _, i := range []int{0, 1, -1, 4096, math.MaxInt64 >> 1} {
+		want, _ := json.Marshal(i)
+		if got := AppendInt(nil, i); string(got) != string(want) {
+			t.Errorf("AppendInt(%d) = %s, want %s", i, got, want)
+		}
+	}
+}

@@ -107,6 +107,20 @@ func (l *DecisionLog) Records() []DecisionRecord {
 	return append([]DecisionRecord(nil), l.records...)
 }
 
+// RecordsSince returns a copy of the stored records from index from on —
+// the suffix a delta checkpoint records beyond its predecessor.
+func (l *DecisionLog) RecordsSince(from int) []DecisionRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from > len(l.records) {
+		from = len(l.records)
+	}
+	return append([]DecisionRecord(nil), l.records[from:]...)
+}
+
 // Slot returns the record for the given 1-based slot ordinal.
 func (l *DecisionLog) Slot(n int) (DecisionRecord, bool) {
 	l.mu.Lock()

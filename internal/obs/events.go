@@ -178,6 +178,21 @@ func (l *Log) Events() []Event {
 	return append([]Event(nil), l.events...)
 }
 
+// EventsSince returns a copy of the stored events from index from on —
+// the suffix a delta checkpoint records beyond its predecessor. The cap
+// truncates (it never rotates), so indices are stable for the log's life.
+func (l *Log) EventsSince(from int) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from > len(l.events) {
+		from = len(l.events)
+	}
+	return append([]Event(nil), l.events[from:]...)
+}
+
 // ByKind returns the stored events of one kind, in order.
 func (l *Log) ByKind(k EventKind) []Event {
 	l.mu.Lock()

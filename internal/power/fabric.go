@@ -470,6 +470,23 @@ func (f *Fabric) SourceCounts() (out [NumSources]int) {
 	return out
 }
 
+// Reset restores the fabric to its freshly constructed state: every
+// relay back on utility, fault injections and LRU stamps cleared,
+// switch counters and meter zeroed. Like NewFabric it leaves the
+// servers' own state alone (callers reset those separately), performs
+// no PowerOn side effects and notifies no switch listener — it is the
+// run-state pooling path, not a simulated relay movement.
+func (f *Fabric) Reset() {
+	for i := range f.servers {
+		f.assign[i] = SourceUtility
+		f.lastUse[i] = 0
+		f.stuck[i] = false
+	}
+	f.offline = 0
+	f.switches = [NumSources]int64{}
+	f.meter = Meter{}
+}
+
 // ResetSwitchCounts clears the relay movement counters.
 func (f *Fabric) ResetSwitchCounts() { f.switches = [NumSources]int64{} }
 

@@ -68,14 +68,15 @@ func (f *UtilityFeed) RecordDraw(p units.Power, dt time.Duration) {
 	}
 }
 
+// Reset clears the cumulative draw accounting, keeping the budget — the
+// state a fresh NewUtilityFeed(f.Budget()) would have.
+func (f *UtilityFeed) Reset() { f.drawn, f.peak = 0, 0 }
+
 // EnergyDrawn returns cumulative grid energy.
 func (f *UtilityFeed) EnergyDrawn() units.Energy { return f.drawn }
 
 // PeakDraw returns the highest recorded draw.
 func (f *UtilityFeed) PeakDraw() units.Power { return f.peak }
-
-// Reset clears the meters.
-func (f *UtilityFeed) Reset() { f.drawn, f.peak = 0, 0 }
 
 // TraceFeed replays a pre-computed availability series (used for solar
 // generation and recorded grid traces). Between samples it holds the

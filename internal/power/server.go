@@ -171,6 +171,19 @@ func (s *Server) PeakDemand() units.Power {
 	return s.cfg.IdlePower + units.Power(dyn)
 }
 
+// Reset restores the server to its freshly constructed state — powered
+// on, idle, at the high frequency, with the cycle and boot-waste
+// counters cleared — without the boot-energy charge a PowerOn from off
+// would record. Run-state pooling uses it to reuse a server across
+// sweep cells.
+func (s *Server) Reset() {
+	s.on = true
+	s.util = 0
+	s.freq = FreqHigh
+	s.cycles = 0
+	s.wastedBoot = 0
+}
+
 // PowerCycles returns how many off→on transitions occurred.
 func (s *Server) PowerCycles() int { return s.cycles }
 

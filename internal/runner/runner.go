@@ -53,6 +53,18 @@ func Workers(requested, n int) int {
 // fn must be safe for concurrent invocation; the pool provides no
 // synchronization between jobs beyond the completion barrier.
 func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return MapWorkers(ctx, n, workers, func(ctx context.Context, _, i int) (T, error) {
+		return fn(ctx, i)
+	})
+}
+
+// MapWorkers is Map with worker identity: fn additionally receives the
+// index (in [0, Workers(workers, n))) of the pool worker running the
+// job. Jobs with the same worker index never run concurrently, so
+// per-worker state — a reusable engine cache, scratch buffers — needs no
+// locking as long as it is keyed by that index. The sequential fast
+// path runs everything as worker 0.
+func MapWorkers[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, worker, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -71,7 +83,7 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 				errs[i] = err
 				continue
 			}
-			results[i], errs[i] = fn(ctx, i)
+			results[i], errs[i] = fn(ctx, 0, i)
 		}
 		return results, firstError(errs)
 	}
@@ -80,7 +92,7 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
@@ -91,9 +103,9 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 					errs[i] = err
 					continue
 				}
-				results[i], errs[i] = fn(ctx, i)
+				results[i], errs[i] = fn(ctx, worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return results, firstError(errs)

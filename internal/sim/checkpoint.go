@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"heb/internal/core"
 	"heb/internal/esd"
+	"heb/internal/jsonx"
 	"heb/internal/power"
 	"heb/internal/units"
 )
@@ -56,10 +58,6 @@ type EngineState struct {
 	UtilityPeak   units.Power  `json:"utility_peak"`
 	InitialStored units.Energy `json:"initial_stored"`
 
-	DemandSeries []float64 `json:"demand_series"`
-	SlotPeaks    []float64 `json:"slot_peaks"`
-	SlotValleys  []float64 `json:"slot_valleys"`
-
 	ShedEvents    int `json:"shed_events"`
 	MismatchSteps int `json:"mismatch_steps"`
 
@@ -70,15 +68,46 @@ type EngineState struct {
 	Supercap *esd.DeviceState  `json:"supercap,omitempty"`
 	Fabric   power.FabricState `json:"fabric"`
 
-	Controller core.ControllerState `json:"controller"`
-
 	Feed *power.UtilityFeedState `json:"feed,omitempty"`
+
+	// The metric series and the controller are declared last, omitempty:
+	// emitCheckpoint marshals the state with these fields empty (the
+	// reflected "head") and hand-appends them — the series through the
+	// jsonx fast path, the controller through its own stitcher — so the
+	// result still matches json.Marshal's field order byte-for-byte.
+	DemandSeries []float64             `json:"demand_series,omitempty"`
+	SlotPeaks    []float64             `json:"slot_peaks,omitempty"`
+	SlotValleys  []float64             `json:"slot_valleys,omitempty"`
+	Controller   *core.ControllerState `json:"controller,omitempty"`
 }
 
 // Checkpoint assembles the engine's current state. It is meaningful only
 // at a slot boundary (after finishSlot and the next planSlot), which is
 // where Run invokes it.
 func (e *Engine) Checkpoint() (EngineState, error) {
+	st, err := e.checkpoint()
+	if err != nil {
+		return EngineState{}, err
+	}
+	ctrl, err := e.cfg.Controller.Checkpoint()
+	if err != nil {
+		return EngineState{}, fmt.Errorf("sim: checkpoint controller: %w", err)
+	}
+	st.Controller = &ctrl
+	// Callers own the returned state; detach it from the live series.
+	st.DemandSeries = append([]float64(nil), st.DemandSeries...)
+	st.SlotPeaks = append([]float64(nil), st.SlotPeaks...)
+	st.SlotValleys = append([]float64(nil), st.SlotValleys...)
+	return st, nil
+}
+
+// checkpoint assembles the state with the series fields aliasing the
+// engine's live slices — emitCheckpoint marshals immediately, so it skips
+// the defensive copy Checkpoint makes for external callers. The
+// controller is left to the caller: the full and delta paths encode it
+// differently, and assembling the full PAT just to discard it would
+// dominate the delta path's cost.
+func (e *Engine) checkpoint() (EngineState, error) {
 	st := EngineState{
 		Steps:         e.steps,
 		Now:           e.now,
@@ -102,9 +131,9 @@ func (e *Engine) Checkpoint() (EngineState, error) {
 		UtilityDrawn:  e.utilityDrawn,
 		UtilityPeak:   e.utilityPeak,
 		InitialStored: e.initialStored,
-		DemandSeries:  append([]float64(nil), e.demandSeries...),
-		SlotPeaks:     append([]float64(nil), e.slotPeaks...),
-		SlotValleys:   append([]float64(nil), e.slotValleys...),
+		DemandSeries:  e.demandSeries,
+		SlotPeaks:     e.slotPeaks,
+		SlotValleys:   e.slotValleys,
 		ShedEvents:    e.shedEvents,
 		MismatchSteps: e.mismatchSteps,
 		Fabric:        e.fabric.Checkpoint(),
@@ -133,9 +162,6 @@ func (e *Engine) Checkpoint() (EngineState, error) {
 		}
 		st.Supercap = &ds
 	}
-	if st.Controller, err = e.cfg.Controller.Checkpoint(); err != nil {
-		return EngineState{}, fmt.Errorf("sim: checkpoint controller: %w", err)
-	}
 	if uf, ok := e.cfg.Feed.(*power.UtilityFeed); ok {
 		fs := uf.Checkpoint()
 		st.Feed = &fs
@@ -143,21 +169,97 @@ func (e *Engine) Checkpoint() (EngineState, error) {
 	return st, nil
 }
 
-// emitCheckpoint marshals the state and hands it to the configured sink.
-// It runs only at checkpointed slot boundaries, never in the hot loop.
+// appendSeriesField appends `,"<key>":[...]` with the jsonx float fast
+// path; key must carry the leading comma and trailing colon.
+func appendSeriesField(b []byte, key string, s []float64) []byte {
+	b = append(b, key...)
+	return jsonx.AppendFloats(b, s)
+}
+
+// ckptBufPool holds the serialization buffers emitCheckpoint stitches
+// records into. A buffer is borrowed for the duration of one emission
+// (the sink must copy what it keeps) and returned grown, so after the
+// first keyframe has sized it, emissions allocate nothing for the
+// record itself — no matter how many short-lived engines come and go.
+var ckptBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 64<<10)
+	return &b
+}}
+
+// emitCheckpoint serializes the state into a pooled buffer and hands it
+// to the configured sink (which must copy — the buffer goes back to the
+// pool when the sink returns). It runs only at checkpointed slot
+// boundaries, never in the hot loop.
+//
+// The document is stitched rather than marshaled in one reflection pass:
+// the reflected "head" (everything but the metric series and the
+// controller) is cheap, while the series and the PAT — the two parts
+// whose size grows with run length and table size — go through
+// hand-rolled encoders. When cfg.CheckpointDelta approves, the record is
+// delta-encoded: the series carry only the samples grown since the
+// previous emission (tagged with "<key>@base" splice offsets) and the
+// PAT travels as a keyed-merge patch of the entries the slot touched, so
+// a record's cost tracks slot activity instead of run history.
 func (e *Engine) emitCheckpoint(slot, step int, now time.Duration) {
-	st, err := e.Checkpoint()
+	delta := e.cfg.CheckpointDelta != nil && e.cfg.CheckpointDelta()
+	st, err := e.checkpoint()
 	if err != nil {
 		// State assembly fails only on a device/predictor type the
 		// serializer does not know; surface loudly rather than record a
 		// silently broken chain.
 		panic(fmt.Sprintf("sim: checkpoint at slot %d: %v", slot, err))
 	}
-	raw, err := json.Marshal(st)
+	// The head reflects everything except the series and controller;
+	// both are declared omitempty and left unset here.
+	series := [3][]float64{st.DemandSeries, st.SlotPeaks, st.SlotValleys}
+	st.DemandSeries, st.SlotPeaks, st.SlotValleys = nil, nil, nil
+	head, err := json.Marshal(st)
 	if err != nil {
 		panic(fmt.Sprintf("sim: marshal checkpoint at slot %d: %v", slot, err))
 	}
-	e.cfg.Checkpoints(slot, step, now, raw)
+	bp := ckptBufPool.Get().(*[]byte)
+	b := append((*bp)[:0], head[:len(head)-1]...)
+	if delta {
+		b = appendSeriesField(b, `,"demand_series":`, series[0][e.ckptDemandLen:])
+		b = appendSeriesField(b, `,"slot_peaks":`, series[1][e.ckptPeaksLen:])
+		b = appendSeriesField(b, `,"slot_valleys":`, series[2][e.ckptValleysLen:])
+		b = append(b, `,"demand_series@base":`...)
+		b = jsonx.AppendInt(b, e.ckptDemandLen)
+		b = append(b, `,"slot_peaks@base":`...)
+		b = jsonx.AppendInt(b, e.ckptPeaksLen)
+		b = append(b, `,"slot_valleys@base":`...)
+		b = jsonx.AppendInt(b, e.ckptValleysLen)
+	} else {
+		b = appendSeriesField(b, `,"demand_series":`, series[0])
+		b = appendSeriesField(b, `,"slot_peaks":`, series[1])
+		b = appendSeriesField(b, `,"slot_valleys":`, series[2])
+	}
+	b = append(b, `,"controller":`...)
+	if delta {
+		cd, err := e.cfg.Controller.CheckpointDelta()
+		if err != nil {
+			panic(fmt.Sprintf("sim: checkpoint controller at slot %d: %v", slot, err))
+		}
+		cb, err := json.Marshal(cd)
+		if err != nil {
+			panic(fmt.Sprintf("sim: marshal controller delta at slot %d: %v", slot, err))
+		}
+		b = append(b, cb...)
+	} else {
+		if b, err = e.cfg.Controller.AppendCheckpointJSON(b); err != nil {
+			panic(fmt.Sprintf("sim: checkpoint controller at slot %d: %v", slot, err))
+		}
+	}
+	b = append(b, '}')
+	// Every emission — keyframe or delta — becomes the next delta's
+	// baseline: the series lengths and the PAT marks both reset here.
+	e.ckptDemandLen = len(e.demandSeries)
+	e.ckptPeaksLen = len(e.slotPeaks)
+	e.ckptValleysLen = len(e.slotValleys)
+	e.cfg.Controller.MarkCheckpointed()
+	e.cfg.Checkpoints(slot, step, now, b)
+	*bp = b
+	ckptBufPool.Put(bp)
 }
 
 // Restore overwrites the engine's state from a checkpoint taken by an
@@ -183,7 +285,10 @@ func (e *Engine) Restore(st EngineState) error {
 	if err := e.fabric.Restore(st.Fabric); err != nil {
 		return fmt.Errorf("sim: restore fabric: %w", err)
 	}
-	if err := e.cfg.Controller.Restore(st.Controller); err != nil {
+	if st.Controller == nil {
+		return fmt.Errorf("sim: checkpoint carries no controller state")
+	}
+	if err := e.cfg.Controller.Restore(*st.Controller); err != nil {
 		return fmt.Errorf("sim: restore controller: %w", err)
 	}
 	if uf, ok := e.cfg.Feed.(*power.UtilityFeed); ok {
@@ -236,6 +341,11 @@ func (e *Engine) Restore(st EngineState) error {
 		}
 	}
 	e.startStep = st.Steps
+	// The restored checkpoint is the chain's last record: the next delta
+	// emission encodes against exactly the state restored here.
+	e.ckptDemandLen = len(e.demandSeries)
+	e.ckptPeaksLen = len(e.slotPeaks)
+	e.ckptValleysLen = len(e.slotValleys)
 	return nil
 }
 

@@ -151,14 +151,23 @@ type Config struct {
 	// Checkpoints, when set together with a positive CheckpointEvery,
 	// receives the engine's serialized state (see EngineState) at
 	// checkpointed slot boundaries — after the boundary's finish/plan,
-	// before the first step of the new slot. A nil sink is the fast
-	// path: no state is assembled at all, so the hot loop stays
-	// allocation-free (guarded by BenchmarkEngineCheckpointDisabled).
+	// before the first step of the new slot. The state buffer is reused
+	// by the next emission; the sink must copy what it keeps. A nil sink
+	// is the fast path: no state is assembled at all, so the hot loop
+	// stays allocation-free (guarded by BenchmarkEngineCheckpointDisabled).
 	Checkpoints func(slot, step int, now time.Duration, state []byte)
 	// CheckpointEvery is the checkpoint decimation in control slots
 	// (1 = every slot boundary). Zero disables checkpointing even when
 	// a sink is installed.
 	CheckpointEvery int
+	// CheckpointDelta, when set, is consulted at each checkpoint emission:
+	// returning true delta-encodes the record against the engine's previous
+	// emission (metric series carry only their new suffix, tagged with
+	// "<key>@base" splice offsets), false emits full state. The chain owner
+	// uses it to align keyframes with its record count; it must return
+	// false for the first record of a fresh chain. Nil always emits full
+	// state (the v1 behaviour).
+	CheckpointDelta func() bool
 
 	// MaxSteps, when positive, stops the run after executing steps
 	// [0, MaxSteps) — or [startStep, MaxSteps) when resuming — without
@@ -314,6 +323,11 @@ type Engine struct {
 	// count; comparing it per step detects in-mismatch ticks without the
 	// Events-gated inMismatch flag.
 	alertMismatchPrev int
+
+	// Delta-checkpoint state: how much of each metric series the last
+	// emitted (or restored) checkpoint already carried, so a delta record
+	// needs only the suffix grown since then.
+	ckptDemandLen, ckptPeaksLen, ckptValleysLen int
 }
 
 // probeTarget is one probed storage device within a run.
@@ -385,6 +399,11 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Events != nil {
 		e.fabric.SetSwitchListener(e.emitSwitch)
 	}
+	if cfg.CheckpointDelta != nil {
+		// Delta records diff the PAT against its last emission; tracking
+		// must be live before the first step mutates the table.
+		cfg.Controller.TrackCheckpointDeltas()
+	}
 	return e, nil
 }
 
@@ -423,6 +442,100 @@ func MustNew(cfg Config) *Engine {
 // Fabric exposes the relay fabric (for tests and telemetry).
 func (e *Engine) Fabric() *power.Fabric { return e.fabric }
 
+// sizeSeries returns s truncated to keep elements with capacity for at
+// least want, copying only when the existing backing array is too small.
+func sizeSeries(s []float64, keep, want int) []float64 {
+	if cap(s) >= want {
+		return s[:keep]
+	}
+	return append(make([]float64, 0, want), s[:keep]...)
+}
+
+// Reset rebinds the engine to a new run configuration while keeping every
+// allocation the previous run made: the relay fabric (when the server set
+// is unchanged), the hot-loop scratch, the metric-series backing arrays
+// and the probe-target list are all reused. The Config is the immutable
+// per-run plan; everything else on the Engine is mutable run state that
+// this call returns to its post-New zero. Callers own resetting the
+// injected components (servers, pools, feed, controller) — the engine only
+// resets what it built itself. A Reset engine produces bit-for-bit the
+// same results as a freshly built one for the same configuration.
+func (e *Engine) Reset(cfg Config) error {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	sameServers := len(cfg.Servers) == len(e.cfg.Servers)
+	if sameServers {
+		for i, s := range cfg.Servers {
+			if s != e.cfg.Servers[i] {
+				sameServers = false
+				break
+			}
+		}
+	}
+	if sameServers {
+		e.fabric.Reset()
+	} else {
+		fabric, err := power.NewFabric(cfg.Servers)
+		if err != nil {
+			return err
+		}
+		e.fabric = fabric
+	}
+	var peak units.Power
+	for _, s := range cfg.Servers {
+		peak += s.PeakDemand()
+	}
+	e.cfg = cfg
+	e.dischargeConv = cfg.Topology.DischargeConverter(peak)
+	e.utilityConv = cfg.Topology.UtilityConverter(peak)
+	if cfg.Events != nil {
+		e.fabric.SetSwitchListener(e.emitSwitch)
+	} else {
+		e.fabric.SetSwitchListener(nil)
+	}
+
+	if n := len(cfg.Servers); len(e.demandByIdx) != n {
+		e.demandByIdx = make([]units.Power, n)
+		e.keepScratch = make([]bool, n)
+		e.overloadScratch = make([]int, 0, n)
+		e.orderScratch = make([]int, 0, n)
+		e.lruScratch = make([]int, 0, n)
+	}
+
+	e.decision = core.Decision{}
+	e.view = core.SlotView{}
+	e.slotPeak, e.slotValley, e.slotHasSample = 0, 0, false
+	e.now = 0
+	e.inMismatch = false
+	e.lastMode, e.haveMode = 0, false
+	e.lastShed, e.hasShed = 0, false
+	if e.cappedFrom != nil {
+		clear(e.cappedFrom)
+	}
+	e.degradedSecs = 0
+	e.startStep = 0
+	e.servedSC, e.servedBA = 0, 0
+	e.renewGen, e.renewUsed = 0, 0
+	e.renewStored, e.renewSpilled = 0, 0
+	e.utilityDrawn, e.utilityPeak = 0, 0
+	e.initialStored = 0
+	e.demandSeries = e.demandSeries[:0]
+	e.slotPeaks = e.slotPeaks[:0]
+	e.slotValleys = e.slotValleys[:0]
+	e.shedEvents = 0
+	e.mismatchSteps, e.steps = 0, 0
+	e.probeTargets = e.probeTargets[:0]
+	e.ledger = ledgerState{}
+	e.alertMismatchPrev = 0
+	e.ckptDemandLen, e.ckptPeaksLen, e.ckptValleysLen = 0, 0, 0
+	if cfg.CheckpointDelta != nil {
+		cfg.Controller.TrackCheckpointDeltas()
+	}
+	return nil
+}
+
 // stepBatchSize is how many engine steps share one "steps" trace span —
 // one span per step would swamp the trace with sub-microsecond slivers.
 const stepBatchSize = 600
@@ -440,15 +553,18 @@ func (e *Engine) Run() Result {
 		e.initialStored = e.storedTotal()
 		// Size the metric series up front: appending one sample per tick to
 		// a growing slice would re-copy the whole history log2(steps) times.
-		e.demandSeries = make([]float64, 0, steps)
-		e.slotPeaks = make([]float64, 0, nSlots)
-		e.slotValleys = make([]float64, 0, nSlots)
+		// A pooled engine arrives here with full-capacity backing arrays
+		// from its previous run, so sizing truncates instead of allocating.
+		e.demandSeries = sizeSeries(e.demandSeries, 0, steps)
+		e.slotPeaks = sizeSeries(e.slotPeaks, 0, nSlots)
+		e.slotValleys = sizeSeries(e.slotValleys, 0, nSlots)
 	} else {
 		// Resuming: keep the restored prefixes (initialStored came from the
-		// checkpoint) but re-home them in full-capacity backing arrays.
-		e.demandSeries = append(make([]float64, 0, steps), e.demandSeries...)
-		e.slotPeaks = append(make([]float64, 0, nSlots), e.slotPeaks...)
-		e.slotValleys = append(make([]float64, 0, nSlots), e.slotValleys...)
+		// checkpoint) and grow their backing to full run capacity only when
+		// the restore left them short.
+		e.demandSeries = sizeSeries(e.demandSeries, len(e.demandSeries), steps)
+		e.slotPeaks = sizeSeries(e.slotPeaks, len(e.slotPeaks), nSlots)
+		e.slotValleys = sizeSeries(e.slotValleys, len(e.slotValleys), nSlots)
 	}
 
 	if cfg.Probes != nil || cfg.Audit != nil || cfg.Alerts != nil {

@@ -67,8 +67,12 @@ func MultiSeedComparison(p Prototype, opts MultiSeedOptions) ([]MultiSeedResult,
 	// in grid order for deterministic accumulation below.
 	nSchemes := len(opts.Schemes)
 	cells := opts.Seeds * nSchemes
-	results, err := runner.Map(context.Background(), cells, opts.Workers,
-		func(_ context.Context, i int) (sim.Result, error) {
+	// Every cell of a scheme reuses one pooled run state per worker: only
+	// the seed differs between cells, so the engine, device pools, PAT
+	// table and controller are reset instead of rebuilt.
+	cache := NewRunCache(runner.Workers(opts.Workers, cells))
+	results, err := runner.MapWorkers(context.Background(), cells, opts.Workers,
+		func(_ context.Context, worker, i int) (sim.Result, error) {
 			s, id := i/nSchemes, opts.Schemes[i%nSchemes]
 			pp := p
 			pp.Seed = p.Seed + int64(s)*7919
@@ -77,7 +81,7 @@ func MultiSeedComparison(p Prototype, opts MultiSeedOptions) ([]MultiSeedResult,
 				return sim.Result{}, err
 			}
 			w = w.WithDuration(opts.Duration)
-			res, err := pp.Run(id, w, RunOptions{Duration: opts.Duration})
+			res, err := pp.RunWith(cache, worker, id, w, RunOptions{Duration: opts.Duration})
 			if err != nil {
 				return sim.Result{}, fmt.Errorf("heb: seed %d scheme %v: %w", s, id, err)
 			}

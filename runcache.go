@@ -1,0 +1,141 @@
+package heb
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"heb/internal/core"
+	"heb/internal/esd"
+	"heb/internal/forecast"
+	"heb/internal/pat"
+	"heb/internal/power"
+	"heb/internal/sim"
+	"heb/internal/units"
+)
+
+// runState is the poolable mutable half of a run: every long-lived
+// allocation a sweep cell makes — device pools, PAT table, predictors,
+// controller, servers, feed, engine — that the next cell with the same
+// structural configuration can reuse through the components' Reset
+// paths instead of rebuilding. A runState is owned by one worker at a
+// time, so it needs no locking. The observability sinks (event log,
+// decision trace, probe rings) are deliberately NOT pooled: a Capture
+// retains their backing slices after the run, so reusing them would
+// corrupt earlier artifacts.
+type runState struct {
+	battery              *esd.Pool
+	supercap             *esd.Pool
+	table                *pat.Table // nil for table-free schemes
+	scheme               core.Scheme
+	peakPred, valleyPred forecast.Predictor
+	ctrl                 *core.Controller
+	servers              []*power.Server
+	feed                 *power.UtilityFeed
+	eng                  *sim.Engine
+}
+
+// reset restores every pooled component to the state its fresh
+// construction path would produce, in the same order Prototype.run
+// builds fresh components, so a reused run is bit-for-bit identical to
+// a fresh one. The per-run pieces (trace fn, sinks, seeds) are rebound
+// afterwards by the caller.
+func (st *runState) reset(p Prototype) {
+	st.battery.Reset()
+	if p.BatteryPreAge > 0 {
+		for _, m := range st.battery.Members() {
+			if b, ok := m.(*esd.Battery); ok {
+				b.PreAge(p.BatteryPreAge)
+			}
+		}
+	}
+	st.battery.SetSoC(p.InitialSoC)
+	if st.supercap != nil {
+		st.supercap.Reset()
+		st.supercap.SetSoC(p.InitialSoC)
+	}
+	if st.table != nil {
+		st.table.Reset()
+		var scCap units.Energy
+		if st.supercap != nil {
+			scCap = st.supercap.Capacity()
+		}
+		core.SeedPAT(st.table, scCap, st.battery.Capacity(), p.maxPM(),
+			core.DefaultBatteryDerate, p.ProfileNoise)
+	}
+	st.peakPred.Reset()
+	st.valleyPred.Reset()
+	for _, s := range st.servers {
+		s.Reset()
+	}
+	st.feed.Reset()
+}
+
+// RunCache pools runState values across the cells of a sweep, one
+// private map per worker: worker w only ever touches slot w, and
+// runner.MapWorkers guarantees jobs with the same worker index never
+// run concurrently, so the cache needs no synchronization. Keys are
+// structural configuration fingerprints (seed excluded — the seed only
+// drives the workload trace and the sensor-noise stream, both rebound
+// per run), so a seeds × schemes grid reuses one engine per scheme per
+// worker.
+type RunCache struct {
+	perWorker []map[string]*runState
+}
+
+// NewRunCache builds a cache for the given worker count (as resolved by
+// runner.Workers; values below 1 are treated as 1).
+func NewRunCache(workers int) *RunCache {
+	if workers < 1 {
+		workers = 1
+	}
+	c := &RunCache{perWorker: make([]map[string]*runState, workers)}
+	for i := range c.perWorker {
+		c.perWorker[i] = make(map[string]*runState)
+	}
+	return c
+}
+
+// lookup returns worker's pooled state for key, or nil on a miss or an
+// out-of-range worker index.
+func (c *RunCache) lookup(worker int, key string) *runState {
+	if c == nil || worker < 0 || worker >= len(c.perWorker) {
+		return nil
+	}
+	return c.perWorker[worker][key]
+}
+
+// store parks a freshly built state in worker's slot for reuse.
+func (c *RunCache) store(worker int, key string, st *runState) {
+	if c == nil || worker < 0 || worker >= len(c.perWorker) {
+		return
+	}
+	c.perWorker[worker][key] = st
+}
+
+// poolKey fingerprints the structural configuration a runState is built
+// for: everything that shapes construction except the seed (rebound per
+// run) and the observability pointers (per-run wiring). Two runs with
+// equal pool keys build identical component graphs, so one's reset
+// state can serve the other.
+func (p Prototype) poolKey(id SchemeID, budget units.Power) string {
+	q := p
+	q.Capture = nil
+	q.Progress = nil
+	q.Audits = nil
+	q.Alerts = nil
+	q.Tracer = nil
+	q.Seed = 0
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", q)
+	return fmt.Sprintf("%s|budget=%g|cfg=%016x", id, float64(budget), h.Sum64())
+}
+
+// poolable reports whether a run may go through the cache: options that
+// inject foreign components (a custom feed, table, predictors, a resume
+// chain) or hand internal state to the caller (TableSink would leak the
+// pooled table, which the next reuse resets) force the fresh path.
+func (opts RunOptions) poolable() bool {
+	return opts.Feed == nil && opts.Table == nil &&
+		opts.PeakPredictor == nil && opts.ValleyPredictor == nil &&
+		opts.TableSink == nil && len(opts.ResumeCheckpoints) == 0
+}

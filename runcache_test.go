@@ -1,0 +1,199 @@
+package heb
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"heb/internal/obs"
+	"heb/internal/pat"
+	"heb/internal/runner"
+	"heb/internal/sim"
+)
+
+// sweepArtifactBytes runs a seeds × schemes grid with full observability
+// on — probes, audits, flight-recorder checkpoints — and returns every
+// artifact file the capture writes. With pooled=true the cells go
+// through a shared RunCache (the zero-alloc reuse path); with
+// pooled=false every cell constructs a fresh engine. The two must be
+// byte-for-byte indistinguishable.
+func sweepArtifactBytes(t *testing.T, seeds, workers int, pooled bool) map[string][]byte {
+	t.Helper()
+	p := DefaultPrototype()
+	p.Capture = obs.NewCapture()
+	p.ProbeEvery = 60
+	p.Audit = obs.AuditModeReport
+	p.CheckpointEvery = 1
+
+	schemes := []SchemeID{BaOnly, HEBD}
+	cells := seeds * len(schemes)
+	var cache *RunCache
+	if pooled {
+		cache = NewRunCache(runner.Workers(workers, cells))
+	}
+	d := 40 * time.Minute
+	_, err := runner.MapWorkers(context.Background(), cells, workers,
+		func(_ context.Context, worker, i int) (sim.Result, error) {
+			s, id := i/len(schemes), schemes[i%len(schemes)]
+			pp := p
+			pp.Seed = p.Seed + int64(s)*7919
+			w, err := WorkloadNamed("PR")
+			if err != nil {
+				return sim.Result{}, err
+			}
+			w = w.WithDuration(d)
+			return pp.RunWith(cache, worker, id, w, RunOptions{Duration: d})
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if err := p.Capture.WriteFiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][]byte{}
+	for _, name := range []string{"events.jsonl", "decisions.jsonl", "metrics.prom",
+		"probes.jsonl", "audits.jsonl", "checkpoints.jsonl", "manifest.json"} {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+		out[name] = b
+	}
+	return out
+}
+
+// TestPooledSweepMatchesFreshByteForByte is the acceptance check for
+// run-state pooling: across seeds and worker counts, a sweep that reuses
+// engines through the RunCache must produce artifact files — events,
+// decisions, probes, audits, checkpoint chains, metrics — that are
+// byte-identical to a sweep constructing every engine from scratch.
+// Reset paths that drift from fresh construction by even one float show
+// up here as a diff in decisions.jsonl or the checkpoint hash chain.
+func TestPooledSweepMatchesFreshByteForByte(t *testing.T) {
+	const seeds = 3
+	for _, workers := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			fresh := sweepArtifactBytes(t, seeds, workers, false)
+			pooled := sweepArtifactBytes(t, seeds, workers, true)
+			for name, want := range fresh {
+				if !bytes.Equal(pooled[name], want) {
+					t.Errorf("%s differs between fresh and pooled sweeps", name)
+				}
+			}
+		})
+	}
+}
+
+// TestRunCacheReusesState pins the pooling mechanics: the second run of
+// the same structural configuration must hit the pooled state (one cache
+// entry, not two) and return a result identical to the first — and a
+// different seed must still reuse the same entry, since the pool key is
+// seedless.
+func TestRunCacheReusesState(t *testing.T) {
+	p := DefaultPrototype()
+	w, err := WorkloadNamed("PR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := 30 * time.Minute
+	w = w.WithDuration(d)
+	opts := RunOptions{Duration: d}
+
+	cache := NewRunCache(1)
+	first, err := p.RunWith(cache, 0, HEBD, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(cache.perWorker[0]); n != 1 {
+		t.Fatalf("cache holds %d entries after first run, want 1", n)
+	}
+	second, err := p.RunWith(cache, 0, HEBD, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(cache.perWorker[0]); n != 1 {
+		t.Fatalf("cache holds %d entries after reuse, want 1", n)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("pooled rerun of identical configuration produced a different result")
+	}
+
+	// A different seed reuses the same structural entry.
+	p2 := p
+	p2.Seed = p.Seed + 7919
+	if _, err := p2.RunWith(cache, 0, HEBD, w, opts); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(cache.perWorker[0]); n != 1 {
+		t.Fatalf("seed change grew the cache to %d entries, want 1 (pool key is seedless)", n)
+	}
+
+	// A structural change (different scheme) gets its own entry.
+	if _, err := p.RunWith(cache, 0, BaOnly, w, opts); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(cache.perWorker[0]); n != 2 {
+		t.Fatalf("scheme change left %d entries, want 2", n)
+	}
+}
+
+// TestRunCacheUnpoolableOptionsBypass checks the fresh-path gates:
+// options that inject foreign components or leak internal state must not
+// populate the cache, and a populated cache must not serve them.
+func TestRunCacheUnpoolableOptionsBypass(t *testing.T) {
+	p := DefaultPrototype()
+	w, err := WorkloadNamed("PR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := 30 * time.Minute
+	w = w.WithDuration(d)
+
+	cache := NewRunCache(1)
+	if _, err := p.RunWith(cache, 0, HEBD, w, RunOptions{
+		Duration:  d,
+		TableSink: func(*pat.Table) {},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(cache.perWorker[0]); n != 0 {
+		t.Fatalf("TableSink run populated the cache (%d entries); it must stay fresh", n)
+	}
+}
+
+// TestRunCacheConcurrentCheckout stresses the no-locking contract under
+// the race detector: many cells, many workers, one shared cache. Each
+// worker index owns a private map slot and runner.MapWorkers never runs
+// two jobs of the same worker concurrently, so -race must stay quiet.
+func TestRunCacheConcurrentCheckout(t *testing.T) {
+	p := DefaultPrototype()
+	opts := MultiSeedOptions{
+		Seeds:    6,
+		Duration: 30 * time.Minute,
+		Workload: "PR",
+		Schemes:  []SchemeID{BaOnly, SCFirst, HEBD},
+		Workers:  8,
+	}
+	par, err := MultiSeedComparison(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 1
+	seq, err := MultiSeedComparison(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("pooled multi-seed summaries differ between 1 and 8 workers")
+	}
+}

@@ -51,8 +51,12 @@ func ScaleOutStudy(p Prototype, factors []int, duration time.Duration) ([]ScaleP
 			return nil, fmt.Errorf("heb: scale factor %d must be positive", f)
 		}
 	}
-	return runner.Map(context.Background(), len(factors), 1,
-		func(_ context.Context, i int) (ScalePoint, error) {
+	// Factors differ structurally (server count, storage), so the cache
+	// only pays off when the same factor repeats; it is threaded through
+	// regardless so repeated studies share the plumbing.
+	cache := NewRunCache(1)
+	return runner.MapWorkers(context.Background(), len(factors), 1,
+		func(_ context.Context, worker, i int) (ScalePoint, error) {
 			f := factors[i]
 			pp := p
 			pp.NumServers = p.NumServers * f
@@ -72,7 +76,7 @@ func ScaleOutStudy(p Prototype, factors []int, duration time.Duration) ([]ScaleP
 				return ScalePoint{}, fmt.Errorf("heb: scale factor %d: %w", f, err)
 			}
 			start := time.Now()
-			res, err := pp.Run(HEBD, w, RunOptions{Duration: duration})
+			res, err := pp.RunWith(cache, worker, HEBD, w, RunOptions{Duration: duration})
 			if err != nil {
 				return ScalePoint{}, fmt.Errorf("heb: scale factor %d: %w", f, err)
 			}
